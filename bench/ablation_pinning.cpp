@@ -1,0 +1,66 @@
+// Ablation: thread pinning policy (paper Section IV-B).
+//
+// The paper pins threads compactly — filling one socket before occupying
+// the next — so that a scaling study does not exploit another socket's
+// memory bandwidth early.  This bench runs the same schemes under compact
+// and scatter pinning and reports the measured per-node demand spread:
+// with scatter, 4 threads already put demand on all 4 Xeon memory
+// controllers (flattering low-core-count bandwidth numbers) and turns
+// inter-tile halo traffic remote, because neighbouring tiles now live on
+// different sockets.
+//
+//   ./ablation_pinning [edge] [threads]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "perf/model.hpp"
+#include "schemes/scheme.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace nustencil;
+  const Index edge = argc > 1 ? std::atol(argv[1]) : 48;
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 4;
+  const auto machine = topology::xeonX7550();
+  const auto stencil = core::StencilSpec::paper_3d7p();
+
+  Table table("pinning ablation (" + std::to_string(edge) + "^3, " +
+              std::to_string(threads) + " threads on the Xeon)");
+  table.set_header({"scheme / policy", "locality %", "active nodes", "max node share %"});
+
+  for (const std::string name : {"NaiveSSE", "nuCORALS"}) {
+    for (const auto policy : {numa::PinPolicy::Compact, numa::PinPolicy::Scatter}) {
+      schemes::RunConfig cfg;
+      cfg.num_threads = threads;
+      cfg.timesteps = 8;
+      cfg.instrument = true;
+      cfg.machine = &machine;
+      cfg.pin_policy = policy;
+      core::Problem problem(Coord{edge, edge, edge}, stencil);
+      const auto run = schemes::make_scheme(name)->run(problem, cfg);
+
+      double total = 0.0, peak = 0.0;
+      int active = 0;
+      for (auto b : run.traffic.bytes_from_node) {
+        total += static_cast<double>(b);
+        peak = std::max(peak, static_cast<double>(b));
+        if (b > 0) ++active;
+      }
+      table.add_row(name + (policy == numa::PinPolicy::Compact ? " compact" : " scatter"),
+                    {run.traffic.locality() * 100.0, static_cast<double>(active),
+                     total > 0 ? peak / total * 100.0 : 0.0});
+    }
+  }
+  table.print(std::cout);
+  std::cout <<
+      "\nScatter spreads the demand across all memory controllers at low\n"
+      "thread counts (higher aggregate bandwidth, which is why the paper\n"
+      "pins compactly for honest scaling curves).  Owned data stays local\n"
+      "under both policies (first touch follows the thread), but scatter\n"
+      "places *neighbouring* tiles on different sockets, so halo reads and\n"
+      "boundary-page sharing turn remote — visible in the locality column.\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 2;
+}

@@ -1,0 +1,39 @@
+// Reproduces Figure 3: scaling of STREAM COPY bandwidth per core, 1 to 16
+// cores on the Opteron 8222 and 1 to 32 cores on the Xeon X7550, for both
+// the last-level cache (linear per-core scaling) and the system memory
+// (saturating).  The curves come from the measured anchors of Section IV-C
+// encoded in topology::MachineSpec.
+#include <cmath>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "topology/machine.hpp"
+
+int main() {
+  using namespace nustencil;
+  const auto opteron = topology::opteron8222();
+  const auto xeon = topology::xeonX7550();
+
+  Table t("Fig 3: STREAM COPY bandwidth per core (GB/s)");
+  t.set_header({"cores", "LL1Band Xeon X7550", "LL1Band Opteron 8222",
+                "SysBand Xeon X7550", "SysBand Opteron 8222"});
+  for (int n : {1, 2, 4, 8, 16, 32}) {
+    const double xeon_llc = xeon.cache_bw_per_core(xeon.caches.size() - 1);
+    const double opt_llc = opteron.cache_bw_per_core(opteron.caches.size() - 1);
+    const double xeon_sys = n <= xeon.cores() ? xeon.sys_bw_at(n) / n
+                                              : std::nan("");
+    const double opt_sys = n <= opteron.cores() ? opteron.sys_bw_at(n) / n
+                                                : std::nan("");
+    t.add_row(std::to_string(n),
+              {n <= xeon.cores() ? xeon_llc : std::nan(""),
+               n <= opteron.cores() ? opt_llc : std::nan(""), xeon_sys, opt_sys});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nSection IV-C checkpoints:\n"
+            << "  Opteron total speedup 1->16 cores: "
+            << opteron.sys_bw_scaling.factor(16) << " (paper: 6.5)\n"
+            << "  Xeon total speedup 1->32 cores:    "
+            << xeon.sys_bw_scaling.factor(32) << " (paper: 13.7)\n";
+  return 0;
+}

@@ -1,0 +1,6 @@
+// Regenerates Figure 7 of the paper. See DESIGN.md's experiment index.
+#include "harness/specs.hpp"
+
+int main(int argc, char** argv) {
+  return nustencil::harness::figure_main(nustencil::harness::fig07(), argc, argv);
+}

@@ -1,0 +1,6 @@
+// Regenerates Figure 9 of the paper. See DESIGN.md's experiment index.
+#include "harness/specs.hpp"
+
+int main(int argc, char** argv) {
+  return nustencil::harness::figure_main(nustencil::harness::fig09(), argc, argv);
+}

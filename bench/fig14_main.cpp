@@ -1,0 +1,6 @@
+// Regenerates Figure 14 of the paper. See DESIGN.md's experiment index.
+#include "harness/specs.hpp"
+
+int main(int argc, char** argv) {
+  return nustencil::harness::figure_main(nustencil::harness::fig14(), argc, argv);
+}

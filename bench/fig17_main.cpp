@@ -1,0 +1,6 @@
+// Regenerates Figure 17 of the paper (high-order stencils).
+#include "harness/specs.hpp"
+
+int main(int argc, char** argv) {
+  return nustencil::harness::high_order_main(nustencil::harness::fig17(), argc, argv);
+}

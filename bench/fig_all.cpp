@@ -1,0 +1,51 @@
+// Convenience driver: regenerates every figure (4-22) in one run and,
+// with --svg-dir <dir>, writes one SVG per figure.
+//
+//   ./fig_all [--svg-dir figures] [--csv] [--domain N] [--steps N]
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "harness/specs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nustencil::harness;
+  std::string svg_dir;
+  std::vector<char*> rest = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--svg-dir") == 0 && i + 1 < argc) {
+      svg_dir = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+
+  int failures = 0;
+  const auto run_one = [&](const std::string& id, auto&& runner) {
+    std::cout << "\n================ " << id << " ================\n";
+    std::vector<char*> args = rest;
+    std::string svg_flag = "--svg", svg_path;
+    if (!svg_dir.empty()) {
+      svg_path = svg_dir + "/" + id + ".svg";
+      args.push_back(svg_flag.data());
+      args.push_back(svg_path.data());
+    }
+    failures += runner(static_cast<int>(args.size()), args.data());
+  };
+
+  const std::pair<std::string, FigureSpec (*)()> figures[] = {
+      {"fig04", fig04}, {"fig05", fig05}, {"fig06", fig06}, {"fig07", fig07},
+      {"fig08", fig08}, {"fig09", fig09}, {"fig10", fig10}, {"fig11", fig11},
+      {"fig12", fig12}, {"fig13", fig13}, {"fig14", fig14}, {"fig15", fig15},
+      {"fig20", fig20}, {"fig21", fig21}, {"fig22", fig22}};
+  for (const auto& [id, make] : figures)
+    run_one(id, [&](int c, char** v) { return figure_main(make(), c, v); });
+
+  const std::pair<std::string, HighOrderSpec (*)()> high_order[] = {
+      {"fig16", fig16}, {"fig17", fig17}, {"fig18", fig18}, {"fig19", fig19}};
+  for (const auto& [id, make] : high_order)
+    run_one(id, [&](int c, char** v) { return high_order_main(make(), c, v); });
+
+  if (failures) std::cerr << "\n" << failures << " figure(s) failed\n";
+  return failures == 0 ? 0 : 1;
+}

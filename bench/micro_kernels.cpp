@@ -1,0 +1,57 @@
+// Google-benchmark microbenchmarks of the stencil kernels on this host:
+// scalar vs SSE2, constant vs banded, orders 1-3, and the reference
+// full-domain sweep.  These measure real wall time (unlike the figure
+// benches, which model the paper machines).
+#include <benchmark/benchmark.h>
+
+#include "core/executor.hpp"
+#include "core/field.hpp"
+
+namespace {
+
+using namespace nustencil;
+
+void run_sweep(benchmark::State& state, const core::StencilSpec& stencil, bool simd) {
+  const Index edge = state.range(0);
+  core::Problem problem(Coord{edge, edge, edge}, stencil);
+  problem.initialize();
+  core::Executor exec(problem, {}, simd);
+  core::Box domain;
+  domain.lo = Coord::filled(3, 0);
+  domain.hi = problem.shape();
+  long t = 0;
+  for (auto _ : state) {
+    exec.update_box(domain, t, 0);
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations() * problem.volume());
+  state.counters["Gupdates/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations() * problem.volume()),
+                         benchmark::Counter::kIsRate);
+}
+
+void BM_Const7p_SSE2(benchmark::State& state) {
+  run_sweep(state, core::StencilSpec::paper_3d7p(), true);
+}
+void BM_Const7p_Scalar(benchmark::State& state) {
+  run_sweep(state, core::StencilSpec::paper_3d7p(), false);
+}
+void BM_Banded7_SSE2(benchmark::State& state) {
+  run_sweep(state, core::StencilSpec::banded_star(3, 1), true);
+}
+void BM_Order2_SSE2(benchmark::State& state) {
+  run_sweep(state, core::StencilSpec::stable_star(3, 2), true);
+}
+void BM_Order3_SSE2(benchmark::State& state) {
+  run_sweep(state, core::StencilSpec::stable_star(3, 3), true);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Const7p_SSE2)->Arg(32)->Arg(64);
+BENCHMARK(BM_Const7p_Scalar)->Arg(32)->Arg(64);
+BENCHMARK(BM_Banded7_SSE2)->Arg(32)->Arg(64);
+BENCHMARK(BM_Order2_SSE2)->Arg(32);
+BENCHMARK(BM_Order3_SSE2)->Arg(32);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Reproduces Table I: the hardware configurations of the two paper
+// machines (encoded in topology::MachineSpec), the derived ratios the
+// paper reports, and — since the paper's values are measurements — the
+// same microbenchmarks run on this host for comparison.
+#include <cstring>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "perf/microbench.hpp"
+#include "topology/machine.hpp"
+
+namespace {
+
+using namespace nustencil;
+
+void machine_column(Table& t, const topology::MachineSpec& m) {
+  const double llc_bw = m.last_level_cache().aggregate_bw_gbs;
+  const double ll2_bw = m.caches.size() >= 2
+                            ? m.caches[m.caches.size() - 2].aggregate_bw_gbs
+                            : llc_bw;
+  t.add_row("sockets x cores", {static_cast<double>(m.sockets),
+                                static_cast<double>(m.cores_per_socket)});
+  t.add_row("frequency (GHz)", {m.ghz});
+  t.add_row("NUMA nodes", {static_cast<double>(m.numa_nodes())});
+  for (const auto& c : m.caches)
+    t.add_row("measured " + c.name + " bandwidth (GB/s)", {c.aggregate_bw_gbs});
+  t.add_row("measured sys bandwidth (GB/s)", {m.sys_bw_gbs});
+  t.add_row("measured peak DP (GFLOPS)", {m.peak_dp_gflops});
+  t.add_row("LL1 band / sys band", {llc_bw / m.sys_bw_gbs});
+  t.add_row("LL2 band / LL1 band", {ll2_bw / llc_bw});
+  t.add_row("arith intensity for sys", {m.peak_dp_gflops / (m.sys_bw_gbs / 8.0)});
+  t.add_row("arith intensity for LL1", {m.peak_dp_gflops / (llc_bw / 8.0)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool with_host = true;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--no-host") == 0) with_host = false;
+
+  for (const auto& m : {topology::opteron8222(), topology::xeonX7550()}) {
+    Table t("Table I - " + m.name);
+    t.set_header({"property", "value", "value2"});
+    machine_column(t, m);
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  if (with_host) {
+    Table t("Table I counterpart measured on this host");
+    t.set_header({"property", "value"});
+    t.add_row("measured peak DP, 1 core (GFLOPS)",
+              {nustencil::perf::measure_peak_dp_gflops()});
+    t.add_row("measured L1 copy bandwidth (GB/s)",
+              {nustencil::perf::measure_l1_bandwidth_gbs()});
+    t.add_row("measured memory copy bandwidth (GB/s)",
+              {nustencil::perf::measure_memory_bandwidth_gbs()});
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "cachesim/cache.hpp"
+
+namespace nustencil::cachesim {
+
+Cache::Cache(Index size_bytes, Index line_bytes, int associativity)
+    : size_bytes_(size_bytes), line_bytes_(line_bytes) {
+  NUSTENCIL_CHECK(line_bytes > 0 && (line_bytes & (line_bytes - 1)) == 0,
+                  "Cache: line size must be a power of two");
+  NUSTENCIL_CHECK(size_bytes >= line_bytes && size_bytes % line_bytes == 0,
+                  "Cache: size must be a multiple of the line size");
+  const Index total_lines = size_bytes / line_bytes;
+  ways_ = associativity == 0 ? static_cast<int>(total_lines) : associativity;
+  NUSTENCIL_CHECK(total_lines % ways_ == 0, "Cache: lines not divisible by ways");
+  num_sets_ = total_lines / ways_;
+  lines_.assign(static_cast<std::size_t>(total_lines), Line{});
+}
+
+bool Cache::access(Addr addr, bool write, bool* evicted_dirty, Addr* victim) {
+  ++clock_;
+  const Addr line_addr = addr / static_cast<Addr>(line_bytes_);
+  const Index set = set_of(line_addr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * static_cast<std::size_t>(ways_)];
+  if (evicted_dirty) *evicted_dirty = false;
+
+  Line* lru_line = base;
+  for (int w = 0; w < ways_; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == line_addr) {
+      l.lru = clock_;
+      l.dirty = l.dirty || write;
+      ++counters_.hits;
+      return true;
+    }
+    if (!l.valid) {
+      lru_line = &l;  // prefer an invalid slot
+    } else if (lru_line->valid && l.lru < lru_line->lru) {
+      lru_line = &l;
+    }
+  }
+
+  ++counters_.misses;
+  if (lru_line->valid && lru_line->dirty) {
+    ++counters_.writebacks;
+    if (evicted_dirty) *evicted_dirty = true;
+    if (victim) *victim = lru_line->tag * static_cast<Addr>(line_bytes_);
+  }
+  lru_line->valid = true;
+  lru_line->tag = line_addr;
+  lru_line->dirty = write;
+  lru_line->lru = clock_;
+  return false;
+}
+
+bool Cache::contains(Addr addr) const {
+  const Addr line_addr = addr / static_cast<Addr>(line_bytes_);
+  const Index set = set_of(line_addr);
+  const Line* base = &lines_[static_cast<std::size_t>(set) * static_cast<std::size_t>(ways_)];
+  for (int w = 0; w < ways_; ++w)
+    if (base[w].valid && base[w].tag == line_addr) return true;
+  return false;
+}
+
+void Cache::flush() {
+  for (Line& l : lines_) {
+    if (l.valid && l.dirty) ++counters_.writebacks;
+    l = Line{};
+  }
+}
+
+}  // namespace nustencil::cachesim

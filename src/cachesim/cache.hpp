@@ -1,0 +1,71 @@
+// Set-associative LRU cache simulator (line granularity).
+//
+// Used at small scale to validate the analytic working-set traffic model
+// that drives the figure-scale performance model, and by tests/ablations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace nustencil::cachesim {
+
+using Addr = std::uint64_t;
+
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;  ///< dirty lines evicted
+
+  std::uint64_t accesses() const { return hits + misses; }
+  double miss_rate() const {
+    return accesses() == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(accesses());
+  }
+};
+
+/// One set-associative write-back, write-allocate cache with true LRU.
+class Cache {
+ public:
+  /// `associativity` 0 means fully associative.
+  Cache(Index size_bytes, Index line_bytes, int associativity);
+
+  /// Accesses one line-aligned address; returns true on hit. On a miss the
+  /// line is filled; `evicted_dirty` (when non-null) receives whether a
+  /// dirty victim was written back and `victim` its address.
+  bool access(Addr addr, bool write, bool* evicted_dirty = nullptr, Addr* victim = nullptr);
+
+  /// True when the line containing addr is currently resident.
+  bool contains(Addr addr) const;
+
+  void flush();  ///< invalidate everything (writebacks counted)
+
+  const CacheCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = CacheCounters{}; }
+
+  Index line_bytes() const { return line_bytes_; }
+  Index size_bytes() const { return size_bytes_; }
+  int ways() const { return ways_; }
+  Index sets() const { return num_sets_; }
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru = 0;  ///< last-use timestamp
+  };
+
+  Index set_of(Addr line_addr) const { return static_cast<Index>(line_addr % static_cast<Addr>(num_sets_)); }
+
+  Index size_bytes_;
+  Index line_bytes_;
+  int ways_;
+  Index num_sets_;
+  std::vector<Line> lines_;  // num_sets_ * ways_, set-major
+  std::uint64_t clock_ = 0;
+  CacheCounters counters_;
+};
+
+}  // namespace nustencil::cachesim

@@ -1,0 +1,78 @@
+#include "cachesim/hierarchy.hpp"
+
+namespace nustencil::cachesim {
+
+Hierarchy::Hierarchy(const topology::MachineSpec& machine, int num_cores)
+    : machine_(&machine), num_cores_(num_cores) {
+  NUSTENCIL_CHECK(num_cores >= 1 && num_cores <= machine.cores(),
+                  "Hierarchy: bad core count");
+  NUSTENCIL_CHECK(!machine.caches.empty(), "Hierarchy: machine has no caches");
+  line_bytes_ = machine.caches.front().line_bytes;
+  for (const auto& lvl : machine.caches) {
+    NUSTENCIL_CHECK(lvl.line_bytes == line_bytes_,
+                    "Hierarchy: mixed line sizes unsupported");
+    const int divisor = lvl.shared_by_cores;
+    group_divisor_.push_back(divisor);
+    const int groups = (num_cores + divisor - 1) / divisor;
+    std::vector<std::unique_ptr<Cache>> level;
+    level.reserve(static_cast<std::size_t>(groups));
+    for (int g = 0; g < groups; ++g)
+      level.push_back(std::make_unique<Cache>(lvl.size_bytes, lvl.line_bytes, lvl.associativity));
+    caches_.push_back(std::move(level));
+  }
+}
+
+Cache& Hierarchy::cache_at(std::size_t level, int core) {
+  const int group = core / group_divisor_[level];
+  return *caches_[level][static_cast<std::size_t>(group)];
+}
+
+void Hierarchy::access_line(int core, Addr line_addr_bytes, bool write) {
+  for (std::size_t level = 0; level < caches_.size(); ++level) {
+    bool evicted_dirty = false;
+    const bool hit = cache_at(level, core).access(line_addr_bytes, write, &evicted_dirty);
+    if (level + 1 == caches_.size() && evicted_dirty) ++memory_writes_;
+    if (hit) return;  // served by this level
+  }
+  ++memory_reads_;
+}
+
+void Hierarchy::access(int core, Addr addr, Index bytes, bool write) {
+  NUSTENCIL_DCHECK(core >= 0 && core < num_cores_, "Hierarchy::access: bad core");
+  if (bytes <= 0) return;
+  const Addr first = addr / static_cast<Addr>(line_bytes_);
+  const Addr last = (addr + static_cast<Addr>(bytes) - 1) / static_cast<Addr>(line_bytes_);
+  for (Addr line = first; line <= last; ++line)
+    access_line(core, line * static_cast<Addr>(line_bytes_), write);
+}
+
+void Hierarchy::flush() {
+  for (std::size_t level = 0; level < caches_.size(); ++level) {
+    for (auto& c : caches_[level]) {
+      if (level + 1 == caches_.size()) {
+        const std::uint64_t before = c->counters().writebacks;
+        c->flush();
+        memory_writes_ += c->counters().writebacks - before;
+      } else {
+        c->flush();
+      }
+    }
+  }
+}
+
+HierarchyTraffic Hierarchy::traffic() const {
+  HierarchyTraffic t;
+  for (const auto& level : caches_) {
+    LevelTraffic lt;
+    for (const auto& c : level) {
+      lt.hits += c->counters().hits;
+      lt.misses += c->counters().misses;
+    }
+    t.level.push_back(lt);
+  }
+  t.memory_reads = memory_reads_;
+  t.memory_writes = memory_writes_;
+  return t;
+}
+
+}  // namespace nustencil::cachesim

@@ -1,0 +1,23 @@
+#include "common/aligned.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace nustencil {
+
+AlignedBuffer::AlignedBuffer(std::size_t bytes, std::size_t alignment) {
+  NUSTENCIL_CHECK(alignment != 0 && (alignment & (alignment - 1)) == 0,
+                  "alignment must be a power of two");
+  const std::size_t padded = round_up(static_cast<Index>(bytes == 0 ? 1 : bytes),
+                                      static_cast<Index>(alignment));
+  void* p = std::aligned_alloc(alignment, padded);
+  NUSTENCIL_CHECK(p != nullptr, "aligned_alloc failed");
+  std::memset(p, 0, padded);
+  data_.reset(static_cast<std::byte*>(p));
+  bytes_ = bytes;
+}
+
+}  // namespace nustencil

@@ -1,0 +1,40 @@
+// Cache-line and page aligned array allocation.
+//
+// Stencil grids must be page-aligned so that first-touch page ownership
+// (numa::PageTable) is well defined, and SSE2 kernels want 16-byte aligned
+// rows.  AlignedBuffer owns raw bytes; Grid (core/grid.hpp) layers typed,
+// padded views on top.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace nustencil {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+inline constexpr std::size_t kPageBytes = 4096;
+
+/// Page-aligned, zero-initialised byte buffer with RAII ownership.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t bytes, std::size_t alignment = kPageBytes);
+
+  AlignedBuffer(AlignedBuffer&&) noexcept = default;
+  AlignedBuffer& operator=(AlignedBuffer&&) noexcept = default;
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  std::byte* data() { return data_.get(); }
+  const std::byte* data() const { return data_.get(); }
+  std::size_t size() const { return bytes_; }
+
+ private:
+  struct FreeDeleter {
+    void operator()(std::byte* p) const noexcept { std::free(p); }
+  };
+  std::unique_ptr<std::byte, FreeDeleter> data_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace nustencil

@@ -1,0 +1,60 @@
+// Minimal command-line argument parser for the tools and benches.
+//
+// Supports `--name value`, `--name=value` and boolean `--flag` options,
+// collects positional arguments, and generates a --help text.  Unknown
+// options are errors (typos should not be silently ignored).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nustencil {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program, std::string description);
+
+  /// Registers a value option; `fallback` is returned when absent.
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& fallback);
+
+  /// Registers a boolean flag (false unless present).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false when --help was requested (help text is
+  /// written to stdout); throws Error on unknown options or missing
+  /// values.
+  bool parse(int argc, char** argv);
+
+  std::string get(const std::string& name) const;
+  long get_long(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  /// The full --help text.
+  std::string help() const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string fallback;
+    bool is_flag = false;
+    std::optional<std::string> value;
+  };
+
+  const Option& find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::string> order_;  // help output order
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace nustencil

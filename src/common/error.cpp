@@ -1,0 +1,14 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace nustencil {
+
+void throw_error(const char* cond, const char* file, int line,
+                 const std::string& message) {
+  std::ostringstream os;
+  os << message << " (failed: " << cond << " at " << file << ':' << line << ')';
+  throw Error(os.str());
+}
+
+}  // namespace nustencil

@@ -1,0 +1,34 @@
+// Error handling: a library exception type plus lightweight check macros.
+//
+// NUSTENCIL_CHECK is always on (argument validation at API boundaries);
+// NUSTENCIL_DCHECK compiles out in release builds (hot-path invariants).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nustencil {
+
+/// Exception thrown on any precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void throw_error(const char* cond, const char* file, int line,
+                              const std::string& message);
+
+}  // namespace nustencil
+
+#define NUSTENCIL_CHECK(cond, msg)                                       \
+  do {                                                                   \
+    if (!(cond)) ::nustencil::throw_error(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define NUSTENCIL_DCHECK(cond, msg) \
+  do {                              \
+  } while (0)
+#else
+#define NUSTENCIL_DCHECK(cond, msg) NUSTENCIL_CHECK(cond, msg)
+#endif

@@ -1,0 +1,71 @@
+#include "common/table.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace nustencil {
+
+namespace {
+
+std::string format_value(double v) {
+  if (std::isnan(v)) return "-";
+  std::ostringstream os;
+  double mag = std::fabs(v);
+  if (mag != 0.0 && (mag >= 1e6 || mag < 1e-3)) {
+    os << std::scientific << std::setprecision(3) << v;
+  } else {
+    os << std::fixed << std::setprecision(4) << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void Table::add_row(std::string key, std::vector<double> values) {
+  rows_.push_back(Row{std::move(key), std::move(values)});
+}
+
+void Table::print(std::ostream& os) const {
+  os << "== " << title_ << " ==\n";
+  // Compute column widths.
+  std::size_t ncols = header_.size();
+  for (const Row& r : rows_) ncols = std::max(ncols, r.values.size() + 1);
+  std::vector<std::size_t> width(ncols, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = std::max(width[c], header_[c].size());
+  for (const Row& r : rows_) {
+    width[0] = std::max(width[0], r.key.size());
+    for (std::size_t c = 0; c < r.values.size(); ++c)
+      width[c + 1] = std::max(width[c + 1], format_value(r.values[c]).size());
+  }
+  auto emit = [&](std::size_t c, const std::string& s) {
+    os << std::setw(static_cast<int>(width[c]) + 2) << s;
+  };
+  if (!header_.empty()) {
+    for (std::size_t c = 0; c < header_.size(); ++c) emit(c, header_[c]);
+    os << '\n';
+  }
+  for (const Row& r : rows_) {
+    emit(0, r.key);
+    for (std::size_t c = 0; c < r.values.size(); ++c) emit(c + 1, format_value(r.values[c]));
+    os << '\n';
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  os << "# " << title_ << '\n';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) os << ',';
+    os << header_[c];
+  }
+  if (!header_.empty()) os << '\n';
+  for (const Row& r : rows_) {
+    os << r.key;
+    for (double v : r.values) os << ',' << format_value(v);
+    os << '\n';
+  }
+}
+
+}  // namespace nustencil

@@ -1,0 +1,113 @@
+// Fundamental index and shape types shared by every module.
+//
+// Grids are N-dimensional with a runtime rank of at most kMaxRank spatial
+// dimensions.  Dimension 0 is always the unit-stride dimension (x); higher
+// indices have higher strides.  Space-time adds one extra "time" axis that
+// is handled separately by the tiling code (core/spacetime.hpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace nustencil {
+
+using Index = std::int64_t;
+
+inline constexpr int kMaxRank = 4;
+
+/// A runtime-rank vector of indices; used for shapes, coordinates, strides.
+class Coord {
+ public:
+  Coord() = default;
+
+  Coord(std::initializer_list<Index> values) : rank_(static_cast<int>(values.size())) {
+    NUSTENCIL_CHECK(values.size() <= static_cast<std::size_t>(kMaxRank),
+                    "Coord: too many dimensions");
+    int i = 0;
+    for (Index v : values) v_[i++] = v;
+  }
+
+  static Coord filled(int rank, Index value) {
+    Coord c;
+    c.rank_ = rank;
+    for (int i = 0; i < rank; ++i) c.v_[i] = value;
+    return c;
+  }
+
+  int rank() const { return rank_; }
+
+  Index& operator[](int i) {
+    NUSTENCIL_DCHECK(i >= 0 && i < rank_, "Coord index out of range");
+    return v_[static_cast<std::size_t>(i)];
+  }
+  Index operator[](int i) const {
+    NUSTENCIL_DCHECK(i >= 0 && i < rank_, "Coord index out of range");
+    return v_[static_cast<std::size_t>(i)];
+  }
+
+  bool operator==(const Coord& o) const {
+    if (rank_ != o.rank_) return false;
+    for (int i = 0; i < rank_; ++i)
+      if (v_[static_cast<std::size_t>(i)] != o.v_[static_cast<std::size_t>(i)]) return false;
+    return true;
+  }
+  bool operator!=(const Coord& o) const { return !(*this == o); }
+
+  /// Product of all entries (volume of a shape).
+  Index product() const {
+    Index p = 1;
+    for (int i = 0; i < rank_; ++i) p *= v_[static_cast<std::size_t>(i)];
+    return p;
+  }
+
+  Index min() const {
+    NUSTENCIL_CHECK(rank_ > 0, "Coord::min on empty coord");
+    Index m = v_[0];
+    for (int i = 1; i < rank_; ++i) m = v_[static_cast<std::size_t>(i)] < m ? v_[static_cast<std::size_t>(i)] : m;
+    return m;
+  }
+
+ private:
+  int rank_ = 0;
+  std::array<Index, kMaxRank> v_{};
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Coord& c) {
+  os << '[';
+  for (int i = 0; i < c.rank(); ++i) {
+    if (i) os << ',';
+    os << c[i];
+  }
+  return os << ']';
+}
+
+/// Row-major-from-the-top strides: dim 0 is unit stride.
+inline Coord strides_for(const Coord& shape) {
+  Coord s = Coord::filled(shape.rank(), 1);
+  for (int i = 1; i < shape.rank(); ++i) s[i] = s[i - 1] * shape[i - 1];
+  return s;
+}
+
+inline Index linear_index(const Coord& pos, const Coord& strides) {
+  Index idx = 0;
+  for (int i = 0; i < pos.rank(); ++i) idx += pos[i] * strides[i];
+  return idx;
+}
+
+/// Integer ceiling division for non-negative values.
+constexpr Index ceil_div(Index a, Index b) { return (a + b - 1) / b; }
+
+/// Round `a` up to a multiple of `b`.
+constexpr Index round_up(Index a, Index b) { return ceil_div(a, b) * b; }
+
+/// Positive modulo (result in [0, m) even for negative a).
+constexpr Index pmod(Index a, Index m) {
+  Index r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+}  // namespace nustencil

@@ -1,0 +1,57 @@
+// Boundary conditions.
+//
+// The paper's schemes use periodic boundaries (thread parallelograms wrap
+// around, Section III-A).  The library additionally supports Dirichlet
+// boundaries per dimension (frozen cells of width `order` at both ends),
+// which the wavefront-traversal dimension of CATS/nuCATS requires: time
+// skewing along a periodic axis has a cyclic dependence seam, so that axis
+// is pinned instead.
+#pragma once
+
+#include <array>
+
+#include "core/box.hpp"
+#include "core/stencil.hpp"
+
+namespace nustencil::core {
+
+enum class BoundaryKind { Periodic, Dirichlet };
+
+struct Boundary {
+  std::array<BoundaryKind, 3> dims{BoundaryKind::Periodic, BoundaryKind::Periodic,
+                                   BoundaryKind::Periodic};
+
+  static Boundary periodic() { return Boundary{}; }
+
+  static Boundary dirichlet() {
+    return Boundary{{BoundaryKind::Dirichlet, BoundaryKind::Dirichlet,
+                     BoundaryKind::Dirichlet}};
+  }
+
+  BoundaryKind operator[](int d) const { return dims[static_cast<std::size_t>(d)]; }
+  BoundaryKind& operator[](int d) { return dims[static_cast<std::size_t>(d)]; }
+
+  bool all_periodic(int rank) const {
+    for (int d = 0; d < rank; ++d)
+      if (dims[static_cast<std::size_t>(d)] != BoundaryKind::Periodic) return false;
+    return true;
+  }
+};
+
+/// The updatable region: the full domain, shrunk by `order` at both ends of
+/// every Dirichlet dimension.
+inline Box updatable_box(const Coord& shape, const StencilSpec& stencil,
+                         const Boundary& bc) {
+  Box b;
+  b.lo = Coord::filled(shape.rank(), 0);
+  b.hi = shape;
+  for (int d = 0; d < shape.rank(); ++d) {
+    if (bc[d] == BoundaryKind::Dirichlet) {
+      b.lo[d] += stencil.order();
+      b.hi[d] -= stencil.order();
+    }
+  }
+  return b;
+}
+
+}  // namespace nustencil::core

@@ -1,0 +1,49 @@
+// Axis-aligned boxes in (possibly virtual, i.e. unwrapped-periodic) grid
+// coordinates.
+#pragma once
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/types.hpp"
+
+namespace nustencil::core {
+
+/// Half-open box [lo, hi) per dimension.
+struct Box {
+  Coord lo;
+  Coord hi;
+
+  int rank() const { return lo.rank(); }
+
+  bool empty() const {
+    for (int d = 0; d < rank(); ++d)
+      if (lo[d] >= hi[d]) return true;
+    return false;
+  }
+
+  Index volume() const {
+    Index v = 1;
+    for (int d = 0; d < rank(); ++d) v *= std::max<Index>(0, hi[d] - lo[d]);
+    return v;
+  }
+
+  Index extent(int d) const { return hi[d] - lo[d]; }
+
+  friend bool operator==(const Box& a, const Box& b) { return a.lo == b.lo && a.hi == b.hi; }
+};
+
+inline Box intersect(const Box& a, const Box& b) {
+  Box r = a;
+  for (int d = 0; d < a.rank(); ++d) {
+    r.lo[d] = std::max(a.lo[d], b.lo[d]);
+    r.hi[d] = std::min(a.hi[d], b.hi[d]);
+  }
+  return r;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Box& b) {
+  return os << b.lo << ".." << b.hi;
+}
+
+}  // namespace nustencil::core

@@ -1,0 +1,336 @@
+#include "core/executor.hpp"
+
+#include <algorithm>
+#include <array>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "common/error.hpp"
+
+namespace nustencil::core {
+
+namespace {
+
+/// Constant-coefficient fast path: dst[db+x] = sum_p c[p] * src[base[p]+x].
+void kernel_const_scalar(double* dst, const double* src, const double* coeffs,
+                         const Index* bases, int ntaps, Index db, Index x0, Index x1) {
+  for (Index x = x0; x < x1; ++x) {
+    double acc = coeffs[0] * src[bases[0] + x];
+    for (int p = 1; p < ntaps; ++p) acc += coeffs[p] * src[bases[p] + x];
+    dst[db + x] = acc;
+  }
+}
+
+/// Banded fast path: dst[db+x] = sum_p band[p][db+x] * src[base[p]+x].
+void kernel_banded_scalar(double* dst, const double* src, const double* const* bandp,
+                          const Index* bases, int ntaps, Index db, Index x0, Index x1) {
+  for (Index x = x0; x < x1; ++x) {
+    double acc = bandp[0][db + x] * src[bases[0] + x];
+    for (int p = 1; p < ntaps; ++p) acc += bandp[p][db + x] * src[bases[p] + x];
+    dst[db + x] = acc;
+  }
+}
+
+#if defined(__SSE2__)
+void kernel_const_sse2(double* dst, const double* src, const double* coeffs,
+                       const Index* bases, int ntaps, Index db, Index x0, Index x1) {
+  Index x = x0;
+  for (; x + 2 <= x1; x += 2) {
+    __m128d acc = _mm_mul_pd(_mm_set1_pd(coeffs[0]), _mm_loadu_pd(src + bases[0] + x));
+    for (int p = 1; p < ntaps; ++p) {
+      acc = _mm_add_pd(acc, _mm_mul_pd(_mm_set1_pd(coeffs[p]),
+                                       _mm_loadu_pd(src + bases[p] + x)));
+    }
+    _mm_storeu_pd(dst + db + x, acc);
+  }
+  if (x < x1) kernel_const_scalar(dst, src, coeffs, bases, ntaps, db, x, x1);
+}
+
+void kernel_banded_sse2(double* dst, const double* src, const double* const* bandp,
+                        const Index* bases, int ntaps, Index db, Index x0, Index x1) {
+  Index x = x0;
+  for (; x + 2 <= x1; x += 2) {
+    __m128d acc = _mm_mul_pd(_mm_loadu_pd(bandp[0] + db + x), _mm_loadu_pd(src + bases[0] + x));
+    for (int p = 1; p < ntaps; ++p) {
+      acc = _mm_add_pd(acc, _mm_mul_pd(_mm_loadu_pd(bandp[p] + db + x),
+                                       _mm_loadu_pd(src + bases[p] + x)));
+    }
+    _mm_storeu_pd(dst + db + x, acc);
+  }
+  if (x < x1) kernel_banded_scalar(dst, src, bandp, bases, ntaps, db, x, x1);
+}
+#endif  // __SSE2__
+
+#if defined(__AVX2__)
+// AVX2 paths process 4 doubles per iteration.  Separate mul + add (no FMA
+// contraction) keeps the results bit-identical to the scalar and SSE2
+// kernels, so every scheme/reference comparison stays exact.
+void kernel_const_avx2(double* dst, const double* src, const double* coeffs,
+                       const Index* bases, int ntaps, Index db, Index x0, Index x1) {
+  Index x = x0;
+  for (; x + 4 <= x1; x += 4) {
+    __m256d acc = _mm256_mul_pd(_mm256_set1_pd(coeffs[0]),
+                                _mm256_loadu_pd(src + bases[0] + x));
+    for (int p = 1; p < ntaps; ++p) {
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_set1_pd(coeffs[p]),
+                                             _mm256_loadu_pd(src + bases[p] + x)));
+    }
+    _mm256_storeu_pd(dst + db + x, acc);
+  }
+  if (x < x1) kernel_const_sse2(dst, src, coeffs, bases, ntaps, db, x, x1);
+}
+
+void kernel_banded_avx2(double* dst, const double* src, const double* const* bandp,
+                        const Index* bases, int ntaps, Index db, Index x0, Index x1) {
+  Index x = x0;
+  for (; x + 4 <= x1; x += 4) {
+    __m256d acc = _mm256_mul_pd(_mm256_loadu_pd(bandp[0] + db + x),
+                                _mm256_loadu_pd(src + bases[0] + x));
+    for (int p = 1; p < ntaps; ++p) {
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_loadu_pd(bandp[p] + db + x),
+                                             _mm256_loadu_pd(src + bases[p] + x)));
+    }
+    _mm256_storeu_pd(dst + db + x, acc);
+  }
+  if (x < x1) kernel_banded_sse2(dst, src, bandp, bases, ntaps, db, x, x1);
+}
+#endif  // __AVX2__
+
+}  // namespace
+
+struct Executor::RowPlan {
+  Index x0v = 0, x1v = 0;       ///< virtual x range
+  Index src_row = 0;            ///< physical base of the centre source row
+  Index dst_row = 0;            ///< physical base of the destination row
+  std::array<Index, kMaxTaps> base{};  ///< per-tap src row base, x-offset folded
+};
+
+Executor::Executor(Problem& problem, Instrumentation instr, bool use_simd)
+    : problem_(&problem), instr_(instr), use_simd_(use_simd) {
+  const Coord& shape = problem.shape();
+  NUSTENCIL_CHECK(problem.stencil().order() <= kMaxOrder, "Executor: order too large");
+  nx_ = shape[0];
+  ny_ = shape.rank() >= 2 ? shape[1] : 1;
+  nz_ = shape.rank() >= 3 ? shape[2] : 1;
+  sy_ = nx_;
+  sz_ = nx_ * ny_;
+}
+
+Index Executor::update_box(const Box& box, long t, int tid) {
+  if (box.empty()) return 0;
+  const int rank = problem_->shape().rank();
+  NUSTENCIL_DCHECK(box.rank() == rank, "update_box: rank mismatch");
+
+  const Index lo0 = box.lo[0], hi0 = box.hi[0];
+  const Index lo1 = rank >= 2 ? box.lo[1] : 0, hi1 = rank >= 2 ? box.hi[1] : 1;
+  const Index lo2 = rank >= 3 ? box.lo[2] : 0, hi2 = rank >= 3 ? box.hi[2] : 1;
+  NUSTENCIL_DCHECK(hi0 - lo0 <= nx_ && hi1 - lo1 <= ny_ && hi2 - lo2 <= nz_,
+                   "update_box: box wider than the periodic domain");
+
+  const StencilSpec& st = problem_->stencil();
+  const auto& points = st.points();
+  const int ntaps = st.npoints();
+
+  RowPlan plan;
+  plan.x0v = lo0;
+  plan.x1v = hi0;
+  Index done = 0;
+  for (Index vz = lo2; vz < hi2; ++vz) {
+    const Index pz = pmod(vz, nz_);
+    for (Index vy = lo1; vy < hi1; ++vy) {
+      const Index py = pmod(vy, ny_);
+      const Index row = py * sy_ + pz * sz_;
+      plan.src_row = row;
+      plan.dst_row = row;
+      for (int p = 0; p < ntaps; ++p) {
+        const StencilPoint& pt = points[static_cast<std::size_t>(p)];
+        Index base = row;
+        if (pt.dim == 0) {
+          base += pt.offset;  // folded x offset; wrap handled per segment
+        } else if (pt.dim == 1) {
+          base = pmod(py + pt.offset, ny_) * sy_ + pz * sz_;
+        } else if (pt.dim == 2) {
+          base = py * sy_ + pmod(pz + pt.offset, nz_) * sz_;
+        }
+        plan.base[static_cast<std::size_t>(p)] = base;
+      }
+      update_row(plan, t, tid);
+      if (instr_.traffic || instr_.cache_sim) account_row(plan, t, tid);
+      done += hi0 - lo0;
+    }
+  }
+  updates_ += done;
+  return done;
+}
+
+void Executor::update_row(const RowPlan& plan, long t, int tid) {
+  (void)tid;
+  const StencilSpec& st = problem_->stencil();
+  const auto& points = st.points();
+  const int ntaps = st.npoints();
+  const int s = st.order();
+  double* dst = problem_->buffer(t + 1).data();
+  const double* src = problem_->buffer(t).data();
+
+  std::array<const double*, kMaxTaps> bandp{};
+  if (st.banded()) {
+    for (int p = 0; p < ntaps; ++p) bandp[static_cast<std::size_t>(p)] = problem_->band(p).data();
+  }
+
+  // Fully checked + wrapped scalar loop, used for boundary cells and for
+  // every cell when the dependency checker is active.
+  auto slow_cells = [&](Index a, Index b) {
+    for (Index x = a; x < b; ++x) {
+      const Index cell = plan.dst_row + x;
+      double acc = 0.0;
+      for (int p = 0; p < ntaps; ++p) {
+        const StencilPoint& pt = points[static_cast<std::size_t>(p)];
+        Index idx;
+        if (pt.dim == 0) {
+          idx = plan.src_row + pmod(x + pt.offset, nx_);
+        } else {
+          idx = plan.base[static_cast<std::size_t>(p)] + x;
+        }
+        if (instr_.checker) instr_.checker->check_input(idx, t);
+        const double c = st.banded() ? bandp[static_cast<std::size_t>(p)][cell]
+                                     : st.coeffs()[static_cast<std::size_t>(p)];
+        acc += c * src[idx];
+      }
+      if (instr_.checker) instr_.checker->commit_update(cell, t);
+      dst[cell] = acc;
+    }
+  };
+
+  auto fast_cells = [&](Index a, Index b) {
+    if (a >= b) return;
+    if (st.banded()) {
+#if defined(__AVX2__)
+      if (use_simd_) {
+        kernel_banded_avx2(dst, src, bandp.data(), plan.base.data(), ntaps, plan.dst_row, a, b);
+        return;
+      }
+#elif defined(__SSE2__)
+      if (use_simd_) {
+        kernel_banded_sse2(dst, src, bandp.data(), plan.base.data(), ntaps, plan.dst_row, a, b);
+        return;
+      }
+#endif
+      kernel_banded_scalar(dst, src, bandp.data(), plan.base.data(), ntaps, plan.dst_row, a, b);
+    } else {
+#if defined(__AVX2__)
+      if (use_simd_) {
+        kernel_const_avx2(dst, src, st.coeffs().data(), plan.base.data(), ntaps, plan.dst_row, a, b);
+        return;
+      }
+#elif defined(__SSE2__)
+      if (use_simd_) {
+        kernel_const_sse2(dst, src, st.coeffs().data(), plan.base.data(), ntaps, plan.dst_row, a, b);
+        return;
+      }
+#endif
+      kernel_const_scalar(dst, src, st.coeffs().data(), plan.base.data(), ntaps, plan.dst_row, a, b);
+    }
+  };
+
+  // Walk the virtual x range in physical segments.
+  Index vx = plan.x0v;
+  while (vx < plan.x1v) {
+    const Index px = pmod(vx, nx_);
+    const Index len = std::min(plan.x1v - vx, nx_ - px);
+    const Index a = px, b = px + len;
+    if (instr_.checker) {
+      slow_cells(a, b);
+    } else {
+      const Index fast_a = std::max<Index>(a, s);
+      const Index fast_b = std::min<Index>(b, nx_ - s);
+      slow_cells(a, std::min<Index>(b, s));
+      if (fast_a < fast_b) fast_cells(fast_a, fast_b);
+      slow_cells(std::max<Index>(a, nx_ - s), b);
+    }
+    vx += len;
+  }
+}
+
+void Executor::account_row(const RowPlan& plan, long t, int tid) {
+  const StencilSpec& st = problem_->stencil();
+  const auto& points = st.points();
+  const int ntaps = st.npoints();
+  const int s = st.order();
+
+  const Field& srcf = problem_->buffer(t);
+  const Field& dstf = problem_->buffer(t + 1);
+  const bool record = instr_.traffic && srcf.attached();
+
+  // One sink for both consumers: the NUMA traffic recorder (classifies
+  // the range against first-touch page ownership) and the trace-driven
+  // cache simulator (fed the real data addresses).
+  auto sink = [&](const Field& field, Index e0, Index e1, bool write) {
+    if (e0 >= e1) return;
+    if (record)
+      instr_.traffic->account(tid, field.region(), Field::byte_of(e0), Field::byte_of(e1));
+    if (instr_.cache_sim)
+      instr_.cache_sim->access(
+          tid, reinterpret_cast<cachesim::Addr>(field.data() + e0), (e1 - e0) * 8, write);
+  };
+
+  Index vx = plan.x0v;
+  while (vx < plan.x1v) {
+    const Index px = pmod(vx, nx_);
+    const Index len = std::min(plan.x1v - vx, nx_ - px);
+    const Index a = px, b = px + len;
+    // Destination row bytes.
+    sink(dstf, plan.dst_row + a, plan.dst_row + b, true);
+    // Centre source row, extended by the x taps (clamped at the domain edge;
+    // the wrapped spill is at most `s` elements and negligible).
+    sink(srcf, plan.src_row + std::max<Index>(0, a - s),
+         plan.src_row + std::min<Index>(nx_, b + s), false);
+    // Each distinct off-axis neighbour row.
+    for (int p = 0; p < ntaps; ++p) {
+      const StencilPoint& pt = points[static_cast<std::size_t>(p)];
+      if (pt.dim <= 0) continue;
+      const Index base = plan.base[static_cast<std::size_t>(p)];
+      sink(srcf, base + a, base + b, false);
+    }
+    // Coefficient bands at the destination cells.
+    if (st.banded()) {
+      for (int p = 0; p < ntaps; ++p)
+        sink(problem_->band(p), plan.dst_row + a, plan.dst_row + b, false);
+    }
+    vx += len;
+  }
+}
+
+void Executor::first_touch_box(const Box& box, int node, unsigned seed) {
+  if (box.empty()) return;
+  const int rank = problem_->shape().rank();
+  const Index lo0 = box.lo[0], hi0 = box.hi[0];
+  const Index lo1 = rank >= 2 ? box.lo[1] : 0, hi1 = rank >= 2 ? box.hi[1] : 1;
+  const Index lo2 = rank >= 3 ? box.lo[2] : 0, hi2 = rank >= 3 ? box.hi[2] : 1;
+  NUSTENCIL_CHECK(lo0 >= 0 && hi0 <= nx_ && lo1 >= 0 && hi1 <= ny_ && lo2 >= 0 && hi2 <= nz_,
+                  "first_touch_box: physical coordinates required");
+
+  for (Index z = lo2; z < hi2; ++z) {
+    for (Index y = lo1; y < hi1; ++y) {
+      const Index row = y * sy_ + z * sz_;
+      problem_->fill_row(row + lo0, row + hi0, seed);
+      if (instr_.pages && problem_->buffer(0).attached()) {
+        numa::PageTable& table = *instr_.pages;
+        const Index b0 = Field::byte_of(row + lo0);
+        const Index b1 = Field::byte_of(row + hi0);
+        table.first_touch(problem_->buffer(0).region(), b0, b1, node);
+        table.first_touch(problem_->buffer(1).region(), b0, b1, node);
+        if (problem_->has_bands()) {
+          for (int p = 0; p < problem_->stencil().npoints(); ++p)
+            table.first_touch(problem_->band(p).region(), b0, b1, node);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace nustencil::core

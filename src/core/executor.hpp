@@ -1,0 +1,69 @@
+// Region executor: applies one Jacobi time step to a spatial box.
+//
+// All tiling schemes reduce to sequences of box updates at given time
+// steps; the executor owns the per-row kernel dispatch (SSE2 fast path for
+// interior segments, scalar wrap path at periodic boundaries), the traffic
+// instrumentation, and the dependency checker hooks.  Boxes are given in
+// *virtual* coordinates: they may extend beyond the domain in any
+// dimension (skewed parallelograms do), and wrap around periodically.
+#pragma once
+
+#include "cachesim/shared.hpp"
+#include "core/box.hpp"
+#include "core/depcheck.hpp"
+#include "core/field.hpp"
+#include "numa/traffic.hpp"
+
+namespace nustencil::core {
+
+inline constexpr int kMaxOrder = 8;
+inline constexpr int kMaxTaps = 2 * kMaxOrder * 3 + 1;
+
+/// Optional per-run instrumentation shared by all threads.  `pages` must
+/// be the table the problem's fields were attached to; it is required
+/// whenever `traffic` is set.  `cache_sim`, when set, receives the
+/// row-granular access stream of the execution (real data addresses) for
+/// trace-driven cache simulation; thread `tid` maps to simulated core
+/// `tid`.
+struct Instrumentation {
+  numa::PageTable* pages = nullptr;
+  numa::TrafficRecorder* traffic = nullptr;
+  DependencyChecker* checker = nullptr;
+  cachesim::SharedHierarchy* cache_sim = nullptr;
+};
+
+class Executor {
+ public:
+  /// `instr` may outlive-or-null; the executor never owns it.
+  Executor(Problem& problem, Instrumentation instr = {}, bool use_simd = true);
+
+  /// Updates every cell of `box` (virtual coordinates, wrapped into the
+  /// periodic domain) from time `t` to `t+1` on behalf of thread `tid`.
+  /// Returns the number of cell updates performed.
+  Index update_box(const Box& box, long t, int tid);
+
+  /// First-touch claim: marks the pages of `box` (physical coordinates)
+  /// in both value buffers and all bands as owned by `node`, and performs
+  /// the actual initialising write of buffer 0.  Mirrors the paper's
+  /// Phase I: "each thread allocates and initialises one spatial tile".
+  void first_touch_box(const Box& box, int node, unsigned seed);
+
+  const Problem& problem() const { return *problem_; }
+  Index updates_done() const { return updates_; }
+
+ private:
+  struct RowPlan;
+  void update_row(const RowPlan& plan, long t, int tid);
+  void account_row(const RowPlan& plan, long t, int tid);
+
+  Problem* problem_;
+  Instrumentation instr_;
+  bool use_simd_;
+  Index updates_ = 0;
+
+  // Cached geometry (normalised to 3D: missing dims have extent 1).
+  Index nx_, ny_, nz_;
+  Index sy_, sz_;  // strides of dims 1 and 2
+};
+
+}  // namespace nustencil::core

@@ -1,0 +1,82 @@
+#include "core/redblack.hpp"
+
+#include "common/error.hpp"
+
+namespace nustencil::core {
+
+RedBlackExecutor::RedBlackExecutor(Field& field, const StencilSpec& stencil)
+    : field_(&field), stencil_(&stencil) {
+  NUSTENCIL_CHECK(!stencil.banded(), "RedBlackExecutor: constant coefficients only");
+  NUSTENCIL_CHECK(stencil.rank() == field.shape().rank(),
+                  "RedBlackExecutor: rank mismatch");
+  const int colors = stencil.order() + 1;
+  const Coord& shape = field.shape();
+  for (int d = 0; d < shape.rank(); ++d)
+    NUSTENCIL_CHECK(shape[d] % colors == 0,
+                    "RedBlackExecutor: periodic multi-colouring of an order-s "
+                    "stencil needs extents divisible by s+1");
+  nx_ = shape[0];
+  ny_ = shape.rank() >= 2 ? shape[1] : 1;
+  nz_ = shape.rank() >= 3 ? shape[2] : 1;
+}
+
+Index RedBlackExecutor::update_color(const Box& box, int color) {
+  NUSTENCIL_CHECK(color >= 0 && color < num_colors(),
+                  "RedBlackExecutor: colour out of range");
+  if (box.empty()) return 0;
+  const int rank = field_->shape().rank();
+  const Index lo0 = box.lo[0], hi0 = box.hi[0];
+  const Index lo1 = rank >= 2 ? box.lo[1] : 0, hi1 = rank >= 2 ? box.hi[1] : 1;
+  const Index lo2 = rank >= 3 ? box.lo[2] : 0, hi2 = rank >= 3 ? box.hi[2] : 1;
+  NUSTENCIL_CHECK(lo0 >= 0 && hi0 <= nx_ && lo1 >= 0 && hi1 <= ny_ && lo2 >= 0 &&
+                      hi2 <= nz_,
+                  "RedBlackExecutor: physical coordinates required");
+
+  double* u = field_->data();
+  const auto& c = stencil_->coeffs();
+  const auto& points = stencil_->points();
+  const Index colors = num_colors();
+  const Index sy = nx_, sz = nx_ * ny_;
+  Index done = 0;
+  for (Index z = lo2; z < hi2; ++z) {
+    for (Index y = lo1; y < hi1; ++y) {
+      const Index row = y * sy + z * sz;
+      // Cells with (x + y + z) % colors == color.
+      const Index x_start = lo0 + pmod(color - lo0 - y - z, colors);
+      for (Index x = x_start; x < hi0; x += colors) {
+        const Index i = row + x;
+        double acc = c[0] * u[i];
+        for (std::size_t k = 1; k < points.size(); ++k) {
+          const StencilPoint& pt = points[k];
+          Index j;
+          if (pt.dim == 0)
+            j = row + pmod(x + pt.offset, nx_);
+          else if (pt.dim == 1)
+            j = pmod(y + pt.offset, ny_) * sy + z * sz + x;
+          else
+            j = y * sy + pmod(z + pt.offset, nz_) * sz + x;
+          acc += c[k] * u[j];
+        }
+        u[i] = acc;
+        ++done;
+      }
+    }
+  }
+  return done;
+}
+
+Index RedBlackExecutor::iterate(const Box& box) {
+  Index done = 0;
+  for (int color = 0; color < num_colors(); ++color) done += update_color(box, color);
+  return done;
+}
+
+void redblack_run(Field& field, const StencilSpec& stencil, long iterations) {
+  RedBlackExecutor exec(field, stencil);
+  Box whole;
+  whole.lo = Coord::filled(field.shape().rank(), 0);
+  whole.hi = field.shape();
+  for (long t = 0; t < iterations; ++t) exec.iterate(whole);
+}
+
+}  // namespace nustencil::core

@@ -1,0 +1,57 @@
+// In-place multi-colour Gauss-Seidel iteration — the "one copy of X"
+// update style the paper contrasts with its two-copy Jacobi testbed
+// (Section IV-B).  Lexicographic Gauss-Seidel is inherently sequential;
+// colouring is its standard parallel form: cells of one colour never read
+// each other, so each colour sweeps in parallel.  For a star stencil of
+// order s, colouring by (x + y + z) mod (s+1) suffices: every tap
+// displaces along exactly one axis by 1..s, changing the colour by a
+// nonzero amount mod (s+1).  s = 1 gives the classic red-black ordering.
+//
+// This module is deliberately independent of the double-buffered Problem:
+// it owns a single Field and exposes the same box-level interface the
+// schemes use, so NUMA-aware first-touch decompositions apply unchanged.
+#pragma once
+
+#include "core/box.hpp"
+#include "core/field.hpp"
+
+namespace nustencil::core {
+
+enum class Color { Red, Black };
+
+/// In-place multi-colour Gauss-Seidel executor over one field.
+class RedBlackExecutor {
+ public:
+  /// `stencil` must be a constant star stencil; order s uses s+1 colours
+  /// ((x+y+z) mod (s+1)), so every periodic extent must be divisible by
+  /// s+1 for the colouring to wrap consistently.
+  RedBlackExecutor(Field& field, const StencilSpec& stencil);
+
+  /// Number of colours (stencil order + 1; 2 = classic red-black).
+  int num_colors() const { return stencil_->order() + 1; }
+
+  /// Updates all cells of colour `color` (0..num_colors()-1) inside `box`
+  /// (physical coordinates) in place; such cells never read each other.
+  /// Returns the number of cell updates performed.
+  Index update_color(const Box& box, int color);
+
+  /// Red-black convenience for order-1 stencils.
+  Index update_box(const Box& box, Color color) {
+    return update_color(box, color == Color::Red ? 0 : 1);
+  }
+
+  /// One full iteration over `box`: all colours in ascending order.
+  Index iterate(const Box& box);
+
+  const Field& field() const { return *field_; }
+
+ private:
+  Field* field_;
+  const StencilSpec* stencil_;
+  Index nx_, ny_, nz_;
+};
+
+/// Convenience: `iterations` full red-black sweeps over the whole field.
+void redblack_run(Field& field, const StencilSpec& stencil, long iterations);
+
+}  // namespace nustencil::core

@@ -1,0 +1,30 @@
+#include "core/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/executor.hpp"
+
+namespace nustencil::core {
+
+void reference_run(Problem& problem, long timesteps) {
+  Executor exec(problem);
+  Box domain;
+  domain.lo = Coord::filled(problem.shape().rank(), 0);
+  domain.hi = problem.shape();
+  for (long t = 0; t < timesteps; ++t) exec.update_box(domain, t, /*tid=*/0);
+}
+
+double max_rel_diff(const Field& a, const Field& b) {
+  NUSTENCIL_CHECK(a.volume() == b.volume(), "max_rel_diff: shape mismatch");
+  double worst = 0.0;
+  for (Index i = 0; i < a.volume(); ++i) {
+    const double x = a.data()[i], y = b.data()[i];
+    const double denom = std::max({1.0, std::fabs(x), std::fabs(y)});
+    worst = std::max(worst, std::fabs(x - y) / denom);
+  }
+  return worst;
+}
+
+}  // namespace nustencil::core

@@ -1,0 +1,19 @@
+// Reference executor and result comparison.
+//
+// The reference is a plain double-buffered Jacobi sweep: every scheme must
+// produce the same values (Jacobi updates are order-independent, so the
+// match is exact up to identical FP operations).
+#pragma once
+
+#include "core/field.hpp"
+
+namespace nustencil::core {
+
+/// Runs `timesteps` full-domain Jacobi updates single-threaded.  The result
+/// of time step `timesteps` is in problem.buffer(timesteps).
+void reference_run(Problem& problem, long timesteps);
+
+/// Maximum |a-b| / max(1, |a|, |b|) over both fields.
+double max_rel_diff(const Field& a, const Field& b);
+
+}  // namespace nustencil::core

@@ -1,0 +1,52 @@
+#include "core/stencil.hpp"
+
+#include "common/error.hpp"
+
+namespace nustencil::core {
+
+StencilSpec::StencilSpec(int rank, int order, bool banded, std::vector<double> coeffs)
+    : rank_(rank), order_(order), banded_(banded), coeffs_(std::move(coeffs)) {
+  NUSTENCIL_CHECK(rank >= 1 && rank <= 3, "StencilSpec: rank must be 1..3");
+  NUSTENCIL_CHECK(order >= 1, "StencilSpec: order must be >= 1");
+  points_.push_back({-1, 0});
+  for (int d = 0; d < rank; ++d) {
+    for (int k = -order; k <= order; ++k) {
+      if (k == 0) continue;
+      points_.push_back({d, k});
+    }
+  }
+  if (!banded_) {
+    NUSTENCIL_CHECK(coeffs_.size() == points_.size(),
+                    "StencilSpec: need one coefficient per tap");
+  } else {
+    NUSTENCIL_CHECK(coeffs_.empty(), "StencilSpec: banded stencil takes no constants");
+  }
+}
+
+StencilSpec StencilSpec::constant_star(int rank, int order, std::vector<double> coeffs) {
+  return StencilSpec(rank, order, /*banded=*/false, std::move(coeffs));
+}
+
+StencilSpec StencilSpec::paper_3d7p() {
+  // c0 * centre + c1..c6 * the six face neighbours; weights sum to 1.
+  return constant_star(3, 1, {0.4, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1});
+}
+
+StencilSpec StencilSpec::stable_star(int rank, int order) {
+  const int taps = 2 * order * rank + 1;
+  std::vector<double> c(static_cast<std::size_t>(taps));
+  // Distinct positive weights summing to 1: centre gets 1/2, the rest share
+  // the other half proportional to 1/(tap index + 1).
+  double denom = 0.0;
+  for (int i = 1; i < taps; ++i) denom += 1.0 / static_cast<double>(i + 1);
+  c[0] = 0.5;
+  for (int i = 1; i < taps; ++i)
+    c[static_cast<std::size_t>(i)] = 0.5 * (1.0 / static_cast<double>(i + 1)) / denom;
+  return constant_star(rank, order, std::move(c));
+}
+
+StencilSpec StencilSpec::banded_star(int rank, int order) {
+  return StencilSpec(rank, order, /*banded=*/true, {});
+}
+
+}  // namespace nustencil::core

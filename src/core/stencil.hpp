@@ -1,0 +1,73 @@
+// Stencil specifications.
+//
+// The testbed stencil of the paper (Eq. 1) is the 3D 7-point star of order
+// s = 1; Section IV-F evaluates orders s = 2, 3 and Section IV-E the
+// variable-coefficient case where the per-cell coefficients form a sparse
+// banded matrix.  StencilSpec covers all of these: a star stencil of
+// arbitrary order on a 1D/2D/3D array, with either one shared coefficient
+// vector (constant case) or per-cell bands in band-major storage (DIA-like
+// format, "7 matrix coefficients" per cell for the 3D s=1 case).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nustencil::core {
+
+/// One stencil tap: displacement along one axis (or the centre).
+struct StencilPoint {
+  int dim;     ///< axis of the displacement; -1 for the centre point
+  int offset;  ///< signed displacement in elements (0 for the centre)
+};
+
+class StencilSpec {
+ public:
+  /// Constant star stencil: `coeffs` holds the centre coefficient followed
+  /// by one coefficient per (dim, offset) tap in point_order() order.
+  static StencilSpec constant_star(int rank, int order, std::vector<double> coeffs);
+
+  /// The paper's Eq. (1): 3D 7-point, order 1, coefficients c0..c6 chosen
+  /// to sum to 1 (a weighted Jacobi/diffusion step, numerically stable).
+  static StencilSpec paper_3d7p();
+
+  /// A stable constant star stencil of the given rank/order with distinct
+  /// per-tap coefficients summing to 1.
+  static StencilSpec stable_star(int rank, int order);
+
+  /// Variable-coefficient (banded-matrix) star stencil: the coefficients
+  /// live in a band-major array owned by the Problem, one band per tap.
+  static StencilSpec banded_star(int rank, int order);
+
+  int rank() const { return rank_; }
+  int order() const { return order_; }
+  bool banded() const { return banded_; }
+
+  /// Number of taps: 2 * order * rank + 1 (7, 13, 19 for 3D s=1,2,3).
+  int npoints() const { return 2 * order_ * rank_ + 1; }
+
+  /// Multiplications + additions per update (13, 25, 37 for 3D s=1,2,3).
+  int flops() const { return 2 * npoints() - 1; }
+
+  /// Canonical tap ordering: centre first, then for each dim ascending,
+  /// offsets -order..-1 then +1..+order.
+  const std::vector<StencilPoint>& points() const { return points_; }
+
+  /// Constant coefficients aligned with points(); empty for banded().
+  const std::vector<double>& coeffs() const { return coeffs_; }
+
+  /// Doubles read from the value array per update (npoints) plus, for the
+  /// banded case, coefficient doubles (npoints again): paper Section IV-A.
+  int reads_per_update() const { return banded_ ? 2 * npoints() : npoints(); }
+
+ private:
+  StencilSpec(int rank, int order, bool banded, std::vector<double> coeffs);
+
+  int rank_;
+  int order_;
+  bool banded_;
+  std::vector<StencilPoint> points_;
+  std::vector<double> coeffs_;
+};
+
+}  // namespace nustencil::core

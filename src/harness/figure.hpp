@@ -1,0 +1,81 @@
+// Figure harness: regenerates the paper's evaluation figures.
+//
+// For every (scheme, core count) point the harness
+//   1. really executes the scheme, instrumented, on a scaled-down domain
+//      to *measure* its NUMA behaviour (locality, per-node demand) under
+//      the virtual topology of the target machine,
+//   2. queries the scheme's analytic per-update traffic for the *paper's*
+//      domain size, and
+//   3. evaluates the calibrated roofline model (perf/model.hpp).
+// Reference lines (PeakDP, LL1Band0C, SysBandIC, SysBand0C) come directly
+// from the machine description.  Results print as one table per figure —
+// Gupdates/s per core, rows = core counts — the same series the paper
+// plots, plus a paper-vs-model footer of the caption's GFLOPS numbers.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/stencil.hpp"
+#include "topology/machine.hpp"
+
+namespace nustencil::harness {
+
+struct FigureSpec {
+  std::string id;     ///< "fig04"
+  std::string title;  ///< the paper's caption summary
+  topology::MachineSpec machine;
+  bool banded = false;
+  int order = 1;
+
+  bool weak = false;   ///< weak scaling: `domain` is the per-core cube edge
+  Index domain = 160;  ///< cube edge (paper scale)
+  std::vector<int> cores;
+  std::vector<std::string> series;  ///< reference lines + scheme names, in
+                                    ///< the paper's legend order
+
+  /// Caption's "GFLOPS achieved with max cores" per series (total GFLOPS).
+  std::map<std::string, double> paper_gflops_at_max;
+};
+
+struct FigureOptions {
+  Index sim_domain = 40;  ///< scaled-down cube edge for measurement runs
+  long sim_steps = 6;     ///< scaled-down time steps for measurement runs
+  long paper_steps = 100;
+  bool csv = false;       ///< additionally emit CSV
+  bool quick = true;      ///< false (--full): measure at paper scale
+  std::string svg;        ///< non-empty: write the chart to this file
+};
+
+/// Parses common bench options (--csv, --full, --domain N, --steps N).
+FigureOptions parse_options(int argc, char** argv);
+
+struct FigureResult {
+  Table table;                                      ///< pretty-printable
+  std::vector<int> cores;                           ///< row keys
+  std::map<std::string, std::vector<double>> values;  ///< per-series Gup/s/core
+};
+
+/// Runs one figure end to end (Gupdates/s per core, one column per series).
+FigureResult run_figure(const FigureSpec& spec, const FigureOptions& options);
+
+/// Prints the table, the paper-vs-model footer, and (with options.csv)
+/// the CSV block. Convenience main body for the fig* bench binaries.
+int figure_main(const FigureSpec& spec, int argc, char** argv);
+
+/// The paper's standard series list for the constant-stencil figures.
+std::vector<std::string> constant_series();
+
+/// ... for the banded-matrix figures (PeakDP omitted, as in the paper).
+std::vector<std::string> banded_series();
+
+/// ... for the scheme-comparison figures 20-22.
+std::vector<std::string> comparison_series();
+
+/// Core-count sweeps of the two machines.
+std::vector<int> opteron_cores();
+std::vector<int> xeon_cores();
+
+}  // namespace nustencil::harness

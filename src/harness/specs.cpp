@@ -1,0 +1,339 @@
+#include "harness/specs.hpp"
+#include <limits>
+
+#include <iostream>
+
+#include "report/svg_chart.hpp"
+
+namespace nustencil::harness {
+
+namespace {
+
+FigureSpec constant_figure(std::string id, std::string title, topology::MachineSpec m,
+                           bool weak, Index domain,
+                           std::map<std::string, double> paper) {
+  FigureSpec s;
+  s.id = std::move(id);
+  s.title = std::move(title);
+  s.machine = std::move(m);
+  s.weak = weak;
+  s.domain = domain;
+  s.cores = s.machine.cores() == 16 ? opteron_cores() : xeon_cores();
+  s.series = constant_series();
+  s.paper_gflops_at_max = std::move(paper);
+  return s;
+}
+
+FigureSpec banded_figure(std::string id, std::string title, topology::MachineSpec m,
+                         bool weak, Index domain, std::map<std::string, double> paper) {
+  FigureSpec s = constant_figure(std::move(id), std::move(title), std::move(m), weak,
+                                 domain, std::move(paper));
+  s.banded = true;
+  s.series = banded_series();
+  return s;
+}
+
+}  // namespace
+
+FigureSpec fig04() {
+  return constant_figure("fig04", "weak scaling, constant 7-point, 200^3/core",
+                         topology::opteron8222(), /*weak=*/true, 200,
+                         {{"PeakDP", 95.3},
+                          {"LL1B0C", 37.7},
+                          {"nuCORALS", 22.4},
+                          {"nuCATS", 26.8},
+                          {"SysBIC", 13.2},
+                          {"NaiveSSE", 4.6},
+                          {"SysB0C", 3.3}});
+}
+
+FigureSpec fig05() {
+  return constant_figure("fig05", "weak scaling, constant 7-point, 200^3/core",
+                         topology::xeonX7550(), /*weak=*/true, 200,
+                         {{"PeakDP", 202.5},
+                          {"LL1B0C", 119.6},
+                          {"nuCORALS", 83.4},
+                          {"nuCATS", 92.7},
+                          {"SysBIC", 51.2},
+                          {"NaiveSSE", 22.9},
+                          {"SysB0C", 12.7}});
+}
+
+FigureSpec fig06() {
+  return constant_figure("fig06", "strong scaling, constant 7-point, 160^3",
+                         topology::opteron8222(), /*weak=*/false, 160,
+                         {{"PeakDP", 95.3},
+                          {"LL1B0C", 37.7},
+                          {"nuCORALS", 24.9},
+                          {"nuCATS", 22.5},
+                          {"SysBIC", 13.2},
+                          {"NaiveSSE", 6.9},
+                          {"SysB0C", 3.3}});
+}
+
+FigureSpec fig07() {
+  return constant_figure("fig07", "strong scaling, constant 7-point, 160^3",
+                         topology::xeonX7550(), /*weak=*/false, 160,
+                         {{"PeakDP", 202.5},
+                          {"LL1B0C", 119.6},
+                          {"nuCORALS", 104.8},
+                          {"nuCATS", 84.5},
+                          {"SysBIC", 51.2},
+                          {"NaiveSSE", 44.7},
+                          {"SysB0C", 12.7}});
+}
+
+FigureSpec fig08() {
+  return constant_figure("fig08", "strong scaling, constant 7-point, 500^3",
+                         topology::opteron8222(), /*weak=*/false, 500,
+                         {{"PeakDP", 95.3},
+                          {"LL1B0C", 37.7},
+                          {"nuCORALS", 22.4},
+                          {"nuCATS", 26.8},
+                          {"SysBIC", 13.2},
+                          {"NaiveSSE", 4.6},
+                          {"SysB0C", 3.3}});
+}
+
+FigureSpec fig09() {
+  return constant_figure("fig09", "strong scaling, constant 7-point, 500^3",
+                         topology::xeonX7550(), /*weak=*/false, 500,
+                         {{"PeakDP", 202.5},
+                          {"LL1B0C", 119.6},
+                          {"nuCORALS", 85.9},
+                          {"nuCATS", 107.6},
+                          {"SysBIC", 51.2},
+                          {"NaiveSSE", 22.9},
+                          {"SysB0C", 12.7}});
+}
+
+FigureSpec fig10() {
+  return banded_figure("fig10", "weak scaling, 7-band matrix, 200^3/core",
+                       topology::opteron8222(), /*weak=*/true, 200,
+                       {{"LL1B0C", 20.1},
+                        {"nuCORALS", 3.4},
+                        {"nuCATS", 3.6},
+                        {"SysBIC", 2.9},
+                        {"NaiveSSE", 1.7},
+                        {"SysB0C", 1.8}});
+}
+
+FigureSpec fig11() {
+  return banded_figure("fig11", "weak scaling, 7-band matrix, 200^3/core",
+                       topology::xeonX7550(), /*weak=*/true, 200,
+                       {{"LL1B0C", 63.8},
+                        {"nuCORALS", 33.6},
+                        {"nuCATS", 17.7},
+                        {"SysBIC", 11.3},
+                        {"NaiveSSE", 8.9},
+                        {"SysB0C", 6.8}});
+}
+
+FigureSpec fig12() {
+  return banded_figure("fig12", "strong scaling, 7-band matrix, 160^3",
+                       topology::opteron8222(), /*weak=*/false, 160,
+                       {{"LL1B0C", 20.1},
+                        {"nuCORALS", 5.6},
+                        {"nuCATS", 6.0},
+                        {"SysBIC", 2.9},
+                        {"NaiveSSE", 1.7},
+                        {"SysB0C", 1.8}});
+}
+
+FigureSpec fig13() {
+  return banded_figure("fig13", "strong scaling, 7-band matrix, 160^3",
+                       topology::xeonX7550(), /*weak=*/false, 160,
+                       {{"LL1B0C", 63.8},
+                        {"nuCORALS", 29.4},
+                        {"nuCATS", 20.4},
+                        {"SysBIC", 11.3},
+                        {"NaiveSSE", 8.6},
+                        {"SysB0C", 6.8}});
+}
+
+FigureSpec fig14() {
+  return banded_figure("fig14", "strong scaling, 7-band matrix, 500^3",
+                       topology::opteron8222(), /*weak=*/false, 500,
+                       {{"LL1B0C", 20.1},
+                        {"nuCORALS", 3.4},
+                        {"nuCATS", 3.5},
+                        {"SysBIC", 2.9},
+                        {"NaiveSSE", 1.7},
+                        {"SysB0C", 1.8}});
+}
+
+FigureSpec fig15() {
+  return banded_figure("fig15", "strong scaling, 7-band matrix, 500^3",
+                       topology::xeonX7550(), /*weak=*/false, 500,
+                       {{"LL1B0C", 63.8},
+                        {"nuCORALS", 33.8},
+                        {"nuCATS", 21.6},
+                        {"SysBIC", 11.3},
+                        {"NaiveSSE", 8.9},
+                        {"SysB0C", 6.8}});
+}
+
+FigureSpec fig20() {
+  FigureSpec s = constant_figure("fig20", "scheme comparison, weak 200^3/core",
+                                 topology::xeonX7550(), /*weak=*/true, 200,
+                                 {{"nuCORALS", 83.4},
+                                  {"nuCATS", 92.7},
+                                  {"CATS", 52.0},
+                                  {"CORALS", 16.7},
+                                  {"Pochoir", 29.9},
+                                  {"PLuTo", 21.3},
+                                  {"NaiveSSE", 22.9}});
+  s.series = comparison_series();
+  return s;
+}
+
+FigureSpec fig21() {
+  FigureSpec s = constant_figure("fig21", "scheme comparison, strong 500^3",
+                                 topology::xeonX7550(), /*weak=*/false, 500,
+                                 {{"nuCORALS", 85.9},
+                                  {"nuCATS", 107.6},
+                                  {"CATS", 42.9},
+                                  {"CORALS", 15.3},
+                                  {"Pochoir", 27.3},
+                                  {"PLuTo", 22.1},
+                                  {"NaiveSSE", 22.9}});
+  s.series = comparison_series();
+  return s;
+}
+
+FigureSpec fig22() {
+  FigureSpec s = constant_figure("fig22", "scheme comparison, strong 160^3",
+                                 topology::xeonX7550(), /*weak=*/false, 160,
+                                 {{"nuCORALS", 104.8},
+                                  {"nuCATS", 84.5},
+                                  {"CATS", 40.3},
+                                  {"CORALS", 7.2},
+                                  {"Pochoir", 16.9},
+                                  {"PLuTo", 13.0},
+                                  {"NaiveSSE", 44.7}});
+  s.series = comparison_series();
+  return s;
+}
+
+HighOrderSpec fig16() {
+  return {"fig16",
+          "high order stencils (s=1,2,3), 160^3",
+          topology::opteron8222(),
+          160,
+          opteron_cores(),
+          {{"nuCORALS s=1", 24.9},
+           {"nuCATS s=1", 22.5},
+           {"nuCORALS s=2", 28.9},
+           {"nuCATS s=2", 23.2},
+           {"nuCORALS s=3", 29.6},
+           {"nuCATS s=3", 22.8}}};
+}
+
+HighOrderSpec fig17() {
+  return {"fig17",
+          "high order stencils (s=1,2,3), 160^3",
+          topology::xeonX7550(),
+          160,
+          xeon_cores(),
+          {{"nuCORALS s=1", 104.8},
+           {"nuCATS s=1", 84.5},
+           {"nuCORALS s=2", 121.0},
+           {"nuCATS s=2", 94.2},
+           {"nuCORALS s=3", 127.0},
+           {"nuCATS s=3", 100.3}}};
+}
+
+HighOrderSpec fig18() {
+  return {"fig18",
+          "high order stencils (s=1,2,3), 500^3",
+          topology::opteron8222(),
+          500,
+          opteron_cores(),
+          {{"nuCORALS s=1", 22.4},
+           {"nuCATS s=1", 26.8},
+           {"nuCORALS s=2", 19.4},
+           {"nuCATS s=2", 25.9},
+           {"nuCORALS s=3", 18.9},
+           {"nuCATS s=3", 23.5}}};
+}
+
+HighOrderSpec fig19() {
+  return {"fig19",
+          "high order stencils (s=1,2,3), 500^3",
+          topology::xeonX7550(),
+          500,
+          xeon_cores(),
+          {{"nuCORALS s=1", 85.9},
+           {"nuCATS s=1", 107.6},
+           {"nuCORALS s=2", 105.4},
+           {"nuCATS s=2", 100.9},
+           {"nuCORALS s=3", 107.7},
+           {"nuCATS s=3", 91.5}}};
+}
+
+int high_order_main(const HighOrderSpec& spec, int argc, char** argv) {
+  try {
+    const FigureOptions options = parse_options(argc, argv);
+    Table table(spec.id + ": " + spec.title + " [" + spec.machine.name +
+                "] (Gupdates/s per core)");
+    std::vector<std::string> header = {"cores"};
+    std::map<std::string, std::vector<double>> merged;
+    std::map<std::string, int> flops_of;
+    for (int order = 1; order <= 3; ++order) {
+      FigureSpec sub;
+      sub.id = spec.id;
+      sub.title = spec.title;
+      sub.machine = spec.machine;
+      sub.order = order;
+      sub.weak = false;
+      sub.domain = spec.domain;
+      sub.cores = spec.cores;
+      sub.series = {"nuCORALS", "nuCATS"};
+      const FigureResult r = run_figure(sub, options);
+      for (const auto& name : sub.series) {
+        const std::string label = name + " s=" + std::to_string(order);
+        header.push_back(label);
+        merged[label] = r.values.at(name);
+        flops_of[label] = core::StencilSpec::stable_star(3, order).flops();
+      }
+    }
+    table.set_header(header);
+    for (std::size_t i = 0; i < spec.cores.size(); ++i) {
+      std::vector<double> row;
+      for (std::size_t c = 1; c < header.size(); ++c) row.push_back(merged[header[c]][i]);
+      table.add_row(std::to_string(spec.cores[i]), std::move(row));
+    }
+    table.print(std::cout);
+    if (options.csv) table.print_csv(std::cout);
+    if (!options.svg.empty()) {
+      report::ChartSpec chart;
+      chart.title = spec.id + ": " + spec.title + " [" + spec.machine.name + "]";
+      chart.x_label = "number of cores";
+      chart.y_label = "Gupdates/s per core";
+      for (int n : spec.cores) chart.x_ticks.push_back(std::to_string(n));
+      for (std::size_t c = 1; c < header.size(); ++c)
+        chart.series.push_back({header[c], merged[header[c]]});
+      report::write_svg(chart, options.svg);
+      std::cout << "wrote " << options.svg << '\n';
+    }
+
+    Table cmp("paper vs model: total GFLOPS at " + std::to_string(spec.cores.back()) +
+              " cores");
+    cmp.set_header({"series", "paper", "model", "model/paper"});
+    for (const auto& [label, paper] : spec.paper_gflops_at_max) {
+      const auto it = merged.find(label);
+      double model = std::numeric_limits<double>::quiet_NaN();
+      if (it != merged.end() && !it->second.empty())
+        model = it->second.back() * flops_of[label] * spec.cores.back();
+      cmp.add_row(label, {paper, model, model / paper});
+    }
+    std::cout << '\n';
+    cmp.print(std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace nustencil::harness

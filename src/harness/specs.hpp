@@ -1,0 +1,46 @@
+// One FigureSpec per evaluation figure of the paper (Figs. 4-22), with
+// the caption's "GFLOPS achieved with max cores" numbers for the
+// paper-vs-model comparison that EXPERIMENTS.md records.
+#pragma once
+
+#include "harness/figure.hpp"
+
+namespace nustencil::harness {
+
+FigureSpec fig04();  ///< weak, constant 7-pt, 200^3/core, Opteron
+FigureSpec fig05();  ///< weak, constant 7-pt, 200^3/core, Xeon
+FigureSpec fig06();  ///< strong, constant 7-pt, 160^3, Opteron
+FigureSpec fig07();  ///< strong, constant 7-pt, 160^3, Xeon
+FigureSpec fig08();  ///< strong, constant 7-pt, 500^3, Opteron
+FigureSpec fig09();  ///< strong, constant 7-pt, 500^3, Xeon
+FigureSpec fig10();  ///< weak, banded 7-pt, 200^3/core, Opteron
+FigureSpec fig11();  ///< weak, banded 7-pt, 200^3/core, Xeon
+FigureSpec fig12();  ///< strong, banded, 160^3, Opteron
+FigureSpec fig13();  ///< strong, banded, 160^3, Xeon
+FigureSpec fig14();  ///< strong, banded, 500^3, Opteron
+FigureSpec fig15();  ///< strong, banded, 500^3, Xeon
+FigureSpec fig20();  ///< scheme comparison, weak 200^3/core, Xeon
+FigureSpec fig21();  ///< scheme comparison, strong 500^3, Xeon
+FigureSpec fig22();  ///< scheme comparison, strong 160^3, Xeon
+
+/// Figs. 16-19 sweep the stencil order: run the spec at s = 1, 2, 3 and
+/// merge the nuCORALS/nuCATS columns (labelled "name s=k").
+struct HighOrderSpec {
+  std::string id;
+  std::string title;
+  topology::MachineSpec machine;
+  Index domain;
+  std::vector<int> cores;
+  /// Caption GFLOPS at max cores: key "<scheme> s=<k>".
+  std::map<std::string, double> paper_gflops_at_max;
+};
+
+HighOrderSpec fig16();  ///< orders 1-3, 160^3, Opteron
+HighOrderSpec fig17();  ///< orders 1-3, 160^3, Xeon
+HighOrderSpec fig18();  ///< orders 1-3, 500^3, Opteron
+HighOrderSpec fig19();  ///< orders 1-3, 500^3, Xeon
+
+/// Runs a high-order figure (three per-order sub-runs, merged table).
+int high_order_main(const HighOrderSpec& spec, int argc, char** argv);
+
+}  // namespace nustencil::harness

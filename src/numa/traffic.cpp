@@ -1,0 +1,50 @@
+#include "numa/traffic.hpp"
+
+namespace nustencil::numa {
+
+void TrafficStats::merge(const TrafficStats& o) {
+  local_bytes += o.local_bytes;
+  remote_bytes += o.remote_bytes;
+  unowned_bytes += o.unowned_bytes;
+  if (bytes_from_node.size() < o.bytes_from_node.size())
+    bytes_from_node.resize(o.bytes_from_node.size(), 0);
+  for (std::size_t i = 0; i < o.bytes_from_node.size(); ++i)
+    bytes_from_node[i] += o.bytes_from_node[i];
+}
+
+TrafficRecorder::TrafficRecorder(const PageTable& pages, const VirtualTopology& topo,
+                                 int num_threads)
+    : pages_(&pages), topo_(&topo), per_thread_(static_cast<std::size_t>(num_threads)),
+      scratch_(static_cast<std::size_t>(num_threads)) {
+  for (auto& p : per_thread_)
+    p.stats.bytes_from_node.assign(static_cast<std::size_t>(topo.num_nodes()), 0);
+}
+
+void TrafficRecorder::account(int tid, RegionId region, Index byte_begin, Index byte_end) {
+  NUSTENCIL_DCHECK(tid >= 0 && tid < static_cast<int>(per_thread_.size()),
+                   "TrafficRecorder: bad tid");
+  auto& stats = per_thread_[static_cast<std::size_t>(tid)].stats;
+  auto& by_node = scratch_[static_cast<std::size_t>(tid)];
+  const int nodes = topo_->num_nodes();
+  pages_->count_bytes_by_node(region, byte_begin, byte_end, nodes, by_node);
+  const int my_node = topo_->node_of_thread(tid);
+  for (int n = 0; n < nodes; ++n) {
+    const std::uint64_t b = by_node[static_cast<std::size_t>(n)];
+    if (b == 0) continue;
+    stats.bytes_from_node[static_cast<std::size_t>(n)] += b;
+    if (n == my_node)
+      stats.local_bytes += b;
+    else
+      stats.remote_bytes += b;
+  }
+  stats.unowned_bytes += by_node[static_cast<std::size_t>(nodes)];
+}
+
+TrafficStats TrafficRecorder::collect() const {
+  TrafficStats total;
+  total.bytes_from_node.assign(static_cast<std::size_t>(topo_->num_nodes()), 0);
+  for (const auto& p : per_thread_) total.merge(p.stats);
+  return total;
+}
+
+}  // namespace nustencil::numa

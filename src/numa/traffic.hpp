@@ -1,0 +1,90 @@
+// Per-thread NUMA traffic accounting.
+//
+// Schemes call account_read/account_write at tile granularity with the
+// byte ranges they touch; the counters classify each range against the
+// first-touch page table as local (page owned by the accessing thread's
+// node) or remote, and record the per-node demand distribution the
+// performance model needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "numa/page_table.hpp"
+#include "topology/machine.hpp"
+
+namespace nustencil::numa {
+
+/// Thread-to-core placement policies.  The paper pins compactly — "we pin
+/// the thread contexts to cores on one socket, before occupying a new
+/// socket" (Section IV-B) — so that scaling studies do not exploit another
+/// socket's bandwidth early.  Scatter (round-robin across sockets) is the
+/// opposite policy, provided for the pinning ablation.
+enum class PinPolicy { Compact, Scatter };
+
+/// Placement of logical threads onto the simulated machine.
+class VirtualTopology {
+ public:
+  explicit VirtualTopology(const topology::MachineSpec& machine,
+                           PinPolicy policy = PinPolicy::Compact)
+      : machine_(&machine), policy_(policy) {}
+
+  int node_of_thread(int tid) const {
+    if (policy_ == PinPolicy::Scatter) return tid % machine_->numa_nodes();
+    return machine_->node_of_core(tid);
+  }
+  int num_nodes() const { return machine_->numa_nodes(); }
+  const topology::MachineSpec& machine() const { return *machine_; }
+  PinPolicy policy() const { return policy_; }
+
+ private:
+  const topology::MachineSpec* machine_;
+  PinPolicy policy_ = PinPolicy::Compact;
+};
+
+/// Aggregated traffic of one run.
+struct TrafficStats {
+  std::uint64_t local_bytes = 0;
+  std::uint64_t remote_bytes = 0;
+  std::uint64_t unowned_bytes = 0;
+  /// Bytes demanded from each NUMA node's memory (by any thread).
+  std::vector<std::uint64_t> bytes_from_node;
+
+  std::uint64_t total_bytes() const { return local_bytes + remote_bytes + unowned_bytes; }
+
+  /// Fraction of owned traffic that was node-local (1.0 when no traffic).
+  double locality() const {
+    const std::uint64_t owned = local_bytes + remote_bytes;
+    return owned == 0 ? 1.0 : static_cast<double>(local_bytes) / static_cast<double>(owned);
+  }
+
+  void merge(const TrafficStats& o);
+};
+
+/// One counter per thread; cache-line padded, merged after the run.
+class TrafficRecorder {
+ public:
+  TrafficRecorder(const PageTable& pages, const VirtualTopology& topo, int num_threads);
+
+  /// Accounts `bytes(range)` of traffic by thread `tid` against the page
+  /// ownership of [byte_begin, byte_end) in `region`.
+  void account(int tid, RegionId region, Index byte_begin, Index byte_end);
+
+  /// Merged statistics over all threads.
+  TrafficStats collect() const;
+
+  const VirtualTopology& topology() const { return *topo_; }
+
+ private:
+  struct alignas(kCacheLineBytes) PerThread {
+    TrafficStats stats;
+  };
+
+  const PageTable* pages_;
+  const VirtualTopology* topo_;
+  std::vector<PerThread> per_thread_;
+  mutable std::vector<std::vector<std::uint64_t>> scratch_;  // per-thread scratch
+};
+
+}  // namespace nustencil::numa

@@ -1,0 +1,101 @@
+#include "perf/microbench.hpp"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/timer.hpp"
+
+namespace nustencil::perf {
+
+namespace {
+
+/// One round of independent multiply-adds on 8 SSE2 register accumulators;
+/// returns the flop count.  The accumulators are returned through a sink
+/// so the optimiser cannot remove the work.
+double fma_round(std::size_t iters, double* sink) {
+#if defined(__SSE2__)
+  __m128d a0 = _mm_set1_pd(1.000001), a1 = _mm_set1_pd(1.000002);
+  __m128d a2 = _mm_set1_pd(1.000003), a3 = _mm_set1_pd(1.000004);
+  __m128d a4 = _mm_set1_pd(0.999999), a5 = _mm_set1_pd(0.999998);
+  __m128d a6 = _mm_set1_pd(0.999997), a7 = _mm_set1_pd(0.999996);
+  const __m128d m = _mm_set1_pd(0.9999999);
+  const __m128d c = _mm_set1_pd(1e-9);
+  for (std::size_t i = 0; i < iters; ++i) {
+    a0 = _mm_add_pd(_mm_mul_pd(a0, m), c);
+    a1 = _mm_add_pd(_mm_mul_pd(a1, m), c);
+    a2 = _mm_add_pd(_mm_mul_pd(a2, m), c);
+    a3 = _mm_add_pd(_mm_mul_pd(a3, m), c);
+    a4 = _mm_add_pd(_mm_mul_pd(a4, m), c);
+    a5 = _mm_add_pd(_mm_mul_pd(a5, m), c);
+    a6 = _mm_add_pd(_mm_mul_pd(a6, m), c);
+    a7 = _mm_add_pd(_mm_mul_pd(a7, m), c);
+  }
+  alignas(16) double out[2];
+  __m128d total = _mm_add_pd(_mm_add_pd(a0, a1), _mm_add_pd(a2, a3));
+  total = _mm_add_pd(total, _mm_add_pd(_mm_add_pd(a4, a5), _mm_add_pd(a6, a7)));
+  _mm_store_pd(out, total);
+  *sink += out[0] + out[1];
+  // 8 accumulators x 2 lanes x 2 flops per iteration.
+  return static_cast<double>(iters) * 32.0;
+#else
+  double a0 = 1.0, a1 = 1.1, a2 = 1.2, a3 = 1.3;
+  for (std::size_t i = 0; i < iters; ++i) {
+    a0 = a0 * 0.9999999 + 1e-9;
+    a1 = a1 * 0.9999999 + 1e-9;
+    a2 = a2 * 0.9999999 + 1e-9;
+    a3 = a3 * 0.9999999 + 1e-9;
+  }
+  *sink += a0 + a1 + a2 + a3;
+  return static_cast<double>(iters) * 8.0;
+#endif
+}
+
+}  // namespace
+
+double measure_peak_dp_gflops(double seconds_budget) {
+  double sink = 0.0;
+  std::size_t iters = 1 << 16;
+  double flops = 0.0, seconds = 0.0;
+  Timer timer;
+  while (seconds < seconds_budget) {
+    flops += fma_round(iters, &sink);
+    seconds = timer.seconds();
+    iters *= 2;
+  }
+  volatile double keep = sink;
+  (void)keep;
+  return flops / seconds * 1e-9;
+}
+
+double measure_copy_bandwidth_gbs(std::size_t bytes, double seconds_budget) {
+  const std::size_t doubles = bytes / sizeof(double) / 2;
+  AlignedBuffer src_buf(doubles * sizeof(double)), dst_buf(doubles * sizeof(double));
+  double* src = reinterpret_cast<double*>(src_buf.data());
+  double* dst = reinterpret_cast<double*>(dst_buf.data());
+  for (std::size_t i = 0; i < doubles; ++i) src[i] = static_cast<double>(i);
+
+  double moved = 0.0, seconds = 0.0;
+  Timer timer;
+  while (seconds < seconds_budget) {
+    for (std::size_t i = 0; i < doubles; ++i) dst[i] = src[i];
+    volatile double keep = dst[doubles / 2];
+    (void)keep;
+    moved += static_cast<double>(doubles) * 2.0 * sizeof(double);
+    seconds = timer.seconds();
+  }
+  return moved / seconds * 1e-9;
+}
+
+double measure_memory_bandwidth_gbs(double seconds_budget) {
+  return measure_copy_bandwidth_gbs(128u << 20, seconds_budget);
+}
+
+double measure_l1_bandwidth_gbs(double seconds_budget) {
+  return measure_copy_bandwidth_gbs(16u << 10, seconds_budget);
+}
+
+}  // namespace nustencil::perf

@@ -1,0 +1,68 @@
+// Roofline-style performance model for the figure reproduction.
+//
+// The paper's machines are unavailable here, so the figures are
+// regenerated from first principles: every scheme really executes (and is
+// verified), its *measured* NUMA behaviour (locality, per-node demand) and
+// its *analytic* per-level traffic feed this model, which is calibrated
+// with the measured bandwidths and peaks of Table I.  The model computes,
+// per update, the time each resource would need — compute, last-level
+// cache, memory controllers with remote-access penalty — and takes the
+// binding one.  This reproduces the paper's shapes: the NUMA cliff beyond
+// one socket for NUMA-ignorant schemes, nuCATS tracking LL1Band0C, the
+// nuCATS/nuCORALS crossover with domain size, and the banded-matrix drop.
+#pragma once
+
+#include <vector>
+
+#include "core/stencil.hpp"
+#include "schemes/scheme.hpp"
+#include "topology/machine.hpp"
+
+namespace nustencil::perf {
+
+/// Inputs per (scheme, machine, core count) evaluation point.
+struct ModelInput {
+  const topology::MachineSpec* machine = nullptr;
+  const core::StencilSpec* stencil = nullptr;
+  int threads = 1;
+  schemes::TrafficEstimate traffic;  ///< analytic per-update traffic
+
+  /// Fraction of owned traffic that was node-local (measured from the
+  /// instrumented run; 1.0 for a perfectly affine scheme).
+  double locality = 1.0;
+
+  /// Fraction of all memory demand served by each NUMA node (measured).
+  /// Empty = balanced across active nodes.
+  std::vector<double> node_demand;
+
+  /// Scheme-specific control/synchronisation overhead (fraction of time).
+  double sync_overhead = 0.1;
+
+  /// Additional overhead per active socket beyond the first: spin-flag /
+  /// pipeline synchronisation across the interconnect costs latency that
+  /// grows with the number of NUMA hops involved.
+  double sync_per_socket = 0.0;
+};
+
+struct ModelOutput {
+  double gupdates_per_core = 0.0;
+  double gflops_per_core = 0.0;
+  double t_compute = 0.0;  ///< aggregate seconds per update, compute bound
+  double t_llc = 0.0;      ///< last-level cache bound
+  double t_mem = 0.0;      ///< memory/NUMA bound
+};
+
+ModelOutput model_scheme(const ModelInput& in);
+
+/// The paper's reference lines (Section IV-A), in Gupdates/s per core at
+/// `threads` active cores.
+double peak_dp_line(const topology::MachineSpec& m, const core::StencilSpec& st, int threads);
+double ll1band0c_line(const topology::MachineSpec& m, const core::StencilSpec& st, int threads);
+double sysbandic_line(const topology::MachineSpec& m, const core::StencilSpec& st, int threads);
+double sysband0c_line(const topology::MachineSpec& m, const core::StencilSpec& st, int threads);
+
+/// Per-scheme sync/control overhead constants used by the figure harness:
+/// {base fraction, extra fraction per active socket beyond the first}.
+std::pair<double, double> scheme_sync_overhead(const std::string& scheme_name);
+
+}  // namespace nustencil::perf

@@ -1,0 +1,155 @@
+#include "report/svg_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace nustencil::report {
+
+namespace {
+
+const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+                          "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf"};
+constexpr int kPaletteSize = 10;
+
+/// A "nice" tick step covering `span` with ~n ticks.
+double nice_step(double span, int n) {
+  const double raw = span / std::max(1, n);
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  const double norm = raw / mag;
+  double step = 10.0;
+  if (norm <= 1.0) step = 1.0;
+  else if (norm <= 2.0) step = 2.0;
+  else if (norm <= 5.0) step = 5.0;
+  return step * mag;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(4);
+  os << v;
+  return os.str();
+}
+
+std::string escape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_svg(const ChartSpec& spec) {
+  NUSTENCIL_CHECK(!spec.x_ticks.empty(), "render_svg: need at least one x tick");
+  NUSTENCIL_CHECK(!spec.series.empty(), "render_svg: need at least one series");
+  for (const auto& s : spec.series)
+    NUSTENCIL_CHECK(s.values.size() == spec.x_ticks.size(),
+                    "render_svg: series '" + s.label + "' length mismatch");
+
+  const double w = spec.width, h = spec.height;
+  const double ml = 70, mr = 180, mt = 50, mb = 55;  // margins (legend right)
+  const double pw = w - ml - mr, ph = h - mt - mb;
+
+  double ymax = 0.0;
+  for (const auto& s : spec.series)
+    for (double v : s.values)
+      if (std::isfinite(v)) ymax = std::max(ymax, v);
+  if (ymax <= 0.0) ymax = 1.0;
+  const double ystep = nice_step(ymax, 6);
+  ymax = std::ceil(ymax / ystep) * ystep;
+
+  const auto xpos = [&](std::size_t i) {
+    return spec.x_ticks.size() == 1
+               ? ml + pw / 2
+               : ml + pw * static_cast<double>(i) /
+                          static_cast<double>(spec.x_ticks.size() - 1);
+  };
+  const auto ypos = [&](double v) { return mt + ph * (1.0 - v / ymax); };
+
+  std::ostringstream os;
+  os << "<svg xmlns='http://www.w3.org/2000/svg' width='" << w << "' height='" << h
+     << "' viewBox='0 0 " << w << ' ' << h << "'>\n";
+  os << "<rect width='100%' height='100%' fill='white'/>\n";
+  os << "<text x='" << ml + pw / 2 << "' y='24' text-anchor='middle' "
+        "font-family='sans-serif' font-size='15'>"
+     << escape(spec.title) << "</text>\n";
+
+  // Grid + y axis.
+  for (double v = 0.0; v <= ymax + 1e-9; v += ystep) {
+    const double y = ypos(v);
+    os << "<line x1='" << ml << "' y1='" << y << "' x2='" << ml + pw << "' y2='" << y
+       << "' stroke='#dddddd'/>\n";
+    os << "<text x='" << ml - 8 << "' y='" << y + 4
+       << "' text-anchor='end' font-family='sans-serif' font-size='11'>" << fmt(v)
+       << "</text>\n";
+  }
+  // X ticks.
+  for (std::size_t i = 0; i < spec.x_ticks.size(); ++i) {
+    const double x = xpos(i);
+    os << "<line x1='" << x << "' y1='" << mt + ph << "' x2='" << x << "' y2='"
+       << mt + ph + 5 << "' stroke='black'/>\n";
+    os << "<text x='" << x << "' y='" << mt + ph + 20
+       << "' text-anchor='middle' font-family='sans-serif' font-size='11'>"
+       << escape(spec.x_ticks[i]) << "</text>\n";
+  }
+  // Axes.
+  os << "<line x1='" << ml << "' y1='" << mt << "' x2='" << ml << "' y2='" << mt + ph
+     << "' stroke='black'/>\n";
+  os << "<line x1='" << ml << "' y1='" << mt + ph << "' x2='" << ml + pw << "' y2='"
+     << mt + ph << "' stroke='black'/>\n";
+  os << "<text x='" << ml + pw / 2 << "' y='" << h - 12
+     << "' text-anchor='middle' font-family='sans-serif' font-size='12'>"
+     << escape(spec.x_label) << "</text>\n";
+  os << "<text x='18' y='" << mt + ph / 2
+     << "' text-anchor='middle' font-family='sans-serif' font-size='12' "
+        "transform='rotate(-90 18 "
+     << mt + ph / 2 << ")'>" << escape(spec.y_label) << "</text>\n";
+
+  // Series.
+  for (std::size_t k = 0; k < spec.series.size(); ++k) {
+    const auto& s = spec.series[k];
+    const char* color = kPalette[k % kPaletteSize];
+    std::ostringstream points;
+    bool first = true;
+    for (std::size_t i = 0; i < s.values.size(); ++i) {
+      if (!std::isfinite(s.values[i])) continue;
+      points << (first ? "" : " ") << xpos(i) << ',' << ypos(s.values[i]);
+      first = false;
+    }
+    os << "<polyline fill='none' stroke='" << color << "' stroke-width='2' points='"
+       << points.str() << "'/>\n";
+    for (std::size_t i = 0; i < s.values.size(); ++i) {
+      if (!std::isfinite(s.values[i])) continue;
+      os << "<circle cx='" << xpos(i) << "' cy='" << ypos(s.values[i])
+         << "' r='3.2' fill='" << color << "'/>\n";
+    }
+    // Legend entry.
+    const double ly = mt + 14 + static_cast<double>(k) * 18;
+    os << "<line x1='" << ml + pw + 14 << "' y1='" << ly << "' x2='" << ml + pw + 38
+       << "' y2='" << ly << "' stroke='" << color << "' stroke-width='2'/>\n";
+    os << "<text x='" << ml + pw + 44 << "' y='" << ly + 4
+       << "' font-family='sans-serif' font-size='12'>" << escape(s.label)
+       << "</text>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+void write_svg(const ChartSpec& spec, const std::string& path) {
+  std::ofstream out(path);
+  NUSTENCIL_CHECK(out.good(), "write_svg: cannot open " + path);
+  out << render_svg(spec);
+  NUSTENCIL_CHECK(out.good(), "write_svg: write failed for " + path);
+}
+
+}  // namespace nustencil::report

@@ -1,0 +1,34 @@
+// Dependency-free SVG line charts for the figure benches.
+//
+// Renders the paper's figure style: categorical x axis (core counts),
+// Gupdates/s-per-core y axis starting at zero, one polyline + marker set
+// per series, and a legend.  Output is a standalone .svg file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nustencil::report {
+
+struct Series {
+  std::string label;
+  std::vector<double> values;  ///< one per x tick; NaN = gap
+};
+
+struct ChartSpec {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  std::vector<std::string> x_ticks;
+  std::vector<Series> series;
+  int width = 760;
+  int height = 480;
+};
+
+/// Renders the chart as a standalone SVG document.
+std::string render_svg(const ChartSpec& spec);
+
+/// Renders and writes to `path` (throws Error on I/O failure).
+void write_svg(const ChartSpec& spec, const std::string& path);
+
+}  // namespace nustencil::report

@@ -1,0 +1,18 @@
+#include "schemes/cats.hpp"
+
+#include "schemes/cats_common.hpp"
+
+namespace nustencil::schemes {
+
+RunResult CatsScheme::run(core::Problem& problem, const RunConfig& config) const {
+  return run_cats_like(name(), /*numa_aware=*/false, problem, config);
+}
+
+TrafficEstimate CatsScheme::estimate_traffic(const topology::MachineSpec& machine,
+                                             const Coord& shape,
+                                             const core::StencilSpec& stencil, int threads,
+                                             long timesteps) const {
+  return estimate_cats_traffic(machine, shape, stencil, threads, timesteps);
+}
+
+}  // namespace nustencil::schemes

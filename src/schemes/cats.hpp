@@ -1,0 +1,21 @@
+// CATS — cache accurate time skewing [Strzodka, Shaheen, Pajak, Seidel,
+// ICPP'11]: the cache-aware predecessor of nuCATS.  Large space-time tiles
+// with a cache-sized wavefront cross-section, tiles assigned to threads
+// round-robin, data initialised serially — i.e. NUMA-ignorant.
+#pragma once
+
+#include "schemes/scheme.hpp"
+
+namespace nustencil::schemes {
+
+class CatsScheme : public Scheme {
+ public:
+  std::string name() const override { return "CATS"; }
+  bool numa_aware() const override { return false; }
+  RunResult run(core::Problem& problem, const RunConfig& config) const override;
+  TrafficEstimate estimate_traffic(const topology::MachineSpec& machine, const Coord& shape,
+                                   const core::StencilSpec& stencil, int threads,
+                                   long timesteps) const override;
+};
+
+}  // namespace nustencil::schemes

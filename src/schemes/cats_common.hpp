@@ -1,0 +1,58 @@
+// Shared machinery of CATS and nuCATS (paper Section II).
+//
+// Both schemes divide the domain into tiles along the y dimension (and,
+// when nuCATS needs to double the tile count, additionally halve the
+// wavefront-traversal dimension z).  Every tile is traversed by a
+// time-skewed wavefront along z: at sweep position p, the plane
+// z = p - k*s is updated from time tb+k to tb+k+1 for every k in the
+// temporal chunk [tb, tb+Tc).  The moving wavefront spans ~Tc*s planes of
+// one tile cross-section (Nx x Wy) and is sized to fit the last-level
+// cache — that is CATS' "carefully chosen cross-section".
+//
+// Tiles advance through (p, k) in lockstep, synchronised by per-tile
+// progress counters:
+//   * y-neighbours must have finished position p-s entirely,
+//   * the z-lower neighbour must have finished position p-2s,
+//   * the z-upper neighbour must have finished (p, k-1).
+// All waits target lexicographically earlier (p, k) states, so the
+// pipeline is deadlock-free.
+//
+// CATS assigns tiles to threads round-robin and initialises data serially
+// (NUMA-ignorant); nuCATS decomposes the domain into per-thread subdomains
+// (parallel first touch) and assigns each tile to the thread owning it,
+// adjusting the tile count to divide the thread count (Section II).
+#pragma once
+
+#include <vector>
+
+#include "schemes/scheme.hpp"
+
+namespace nustencil::schemes {
+
+struct CatsPlan {
+  long chunk = 1;       ///< temporal chunk depth Tc
+  Index wy = 1;         ///< tile width along y
+  int tiles_y = 1;      ///< tiles along y
+  int z_segments = 1;   ///< 1 or 2 segments along the traversal dimension
+  std::vector<core::Box> tiles;  ///< index = zseg * tiles_y + ty
+  std::vector<int> owner;        ///< tile -> thread
+
+  int num_tiles() const { return tiles_y * z_segments; }
+};
+
+/// Computes the tiling for either scheme. `numa_aware` selects the nuCATS
+/// tile-count adjustment + ownership assignment versus CATS round-robin.
+CatsPlan plan_cats(const core::Box& updatable, const core::StencilSpec& stencil,
+                   const topology::MachineSpec& machine, int threads, long timesteps,
+                   bool numa_aware);
+
+/// Shared run implementation; `numa_aware` controls init and assignment.
+RunResult run_cats_like(const std::string& scheme_name, bool numa_aware,
+                        core::Problem& problem, const RunConfig& config);
+
+/// Shared analytic traffic estimate for the CATS family.
+TrafficEstimate estimate_cats_traffic(const topology::MachineSpec& machine,
+                                      const Coord& shape, const core::StencilSpec& stencil,
+                                      int threads, long timesteps);
+
+}  // namespace nustencil::schemes

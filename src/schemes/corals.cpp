@@ -1,0 +1,22 @@
+#include "schemes/corals.hpp"
+
+#include "schemes/corals_common.hpp"
+
+namespace nustencil::schemes {
+
+RunResult CoralsScheme::run(core::Problem& problem, const RunConfig& config) const {
+  CoralsParams params;
+  params.name = name();
+  params.numa_init = false;
+  params.owner_shift = config.num_threads > 1 ? config.num_threads / 2 : 0;
+  return run_corals_like(problem, config, params);
+}
+
+TrafficEstimate CoralsScheme::estimate_traffic(const topology::MachineSpec& machine,
+                                               const Coord& shape,
+                                               const core::StencilSpec& stencil, int threads,
+                                               long timesteps) const {
+  return estimate_corals_traffic(machine, shape, stencil, threads, timesteps);
+}
+
+}  // namespace nustencil::schemes

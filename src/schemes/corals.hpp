@@ -1,0 +1,28 @@
+// CORALS — cache oblivious parallelograms [Strzodka, Shaheen, Pajak,
+// Seidel, ICS'10]: the cache-oblivious predecessor of nuCORALS.
+//
+// Rendition used here: the same parallelogram engine as nuCORALS but
+// NUMA-ignorant — the data is initialised serially (every page lands on
+// node 0, as the kernel's first-touch policy would place it for a serial
+// allocator), and tiles are assigned to threads without regard for who
+// allocated them (shifted map, modelling CORALS' affinity-blind task
+// parallelism over the recursion).  This preserves exactly the properties
+// Figs. 20-22 compare: identical cache-oblivious locality, no
+// data-to-core affinity.
+#pragma once
+
+#include "schemes/scheme.hpp"
+
+namespace nustencil::schemes {
+
+class CoralsScheme : public Scheme {
+ public:
+  std::string name() const override { return "CORALS"; }
+  bool numa_aware() const override { return false; }
+  RunResult run(core::Problem& problem, const RunConfig& config) const override;
+  TrafficEstimate estimate_traffic(const topology::MachineSpec& machine, const Coord& shape,
+                                   const core::StencilSpec& stencil, int threads,
+                                   long timesteps) const override;
+};
+
+}  // namespace nustencil::schemes

@@ -1,0 +1,72 @@
+// Shared engine of CORALS and nuCORALS (paper Section III).
+//
+// Bidirectional tiling in virtual (unwrapped-periodic) coordinates:
+//
+//  Phase I   The spatial dimensions (all but unit-stride) are decomposed
+//            into exactly one tile per thread; each thread first-touches
+//            its tile (nuCORALS) or thread 0 initialises everything
+//            (CORALS, NUMA-ignorant).
+//
+//  Phase II  Time is tiled into layers of height tau = b/(2s) where b is
+//            the smallest decomposed extent of a thread tile.  Within a
+//            layer, each tile owns a *thread parallelogram*: its spatial
+//            window skewed RIGHT with slope s in every dimension (the
+//            window of an undecomposed dimension is the whole ring,
+//            skewed the same way).  Right-skewing makes the window match
+//            the stencil's dependence cone: a thread never reads anything
+//            left of its own window, so dependencies flow exclusively
+//            from the right neighbour to the left one.
+//
+//  Phase III Each thread covers its thread parallelogram with a *root
+//            parallelogram* skewed LEFT (slope -s), recursively bisected
+//            along the relatively longest dimension into *base
+//            parallelograms* (core::decompose_parallelogram).  Bases are
+//            executed in recursion order — which provably respects every
+//            intra-thread dependency for left-skewed cuts — and clipped
+//            against the thread parallelogram.  A base whose footprint
+//            reaches within 2s of the right window boundary first waits,
+//            for every right-neighbour base overlapping the needed input
+//            region, on that neighbour's completion flag (the paper's
+//            "local synchronisation"); each thread sets its own flag
+//            after finishing the local part of a base.  A global barrier
+//            separates layers.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+#include "schemes/scheme.hpp"
+
+namespace nustencil::schemes {
+
+struct CoralsParams {
+  std::string name;
+  /// Parallel first-touch by owners (nuCORALS) vs serial init (CORALS).
+  bool numa_init = true;
+  /// Tile -> thread: owner = (tile + owner_shift) % threads.  nuCORALS
+  /// uses 0 (the allocating thread processes its own tile); CORALS'
+  /// affinity-blind task assignment is modelled with a shifted map.
+  int owner_shift = 0;
+  /// Override tau (0 = the paper's default b/(2s)).
+  long tau_override = 0;
+  /// Override base parallelogram sizes (0 = defaults).
+  Index base_space = 0;
+  long base_time = 0;
+
+  /// Override the spatial decomposition (rank-matching Coord whose product
+  /// equals the thread count); rank 0 = the paper's default (never cut the
+  /// unit-stride dimension).  Used by the unit-stride ablation bench.
+  Coord force_counts;
+};
+
+RunResult run_corals_like(core::Problem& problem, const RunConfig& config,
+                          const CoralsParams& params);
+
+/// Shared analytic traffic estimate for the CORALS family.
+TrafficEstimate estimate_corals_traffic(const topology::MachineSpec& machine,
+                                        const Coord& shape,
+                                        const core::StencilSpec& stencil, int threads,
+                                        long timesteps);
+
+}  // namespace nustencil::schemes

@@ -1,0 +1,89 @@
+#include "schemes/decompose.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace nustencil::schemes {
+
+namespace {
+
+/// Smallest prime factor of n (n itself when prime).
+int smallest_factor(int n) {
+  for (int p = 2; p * p <= n; ++p)
+    if (n % p == 0) return p;
+  return n;
+}
+
+}  // namespace
+
+Coord decompose_counts(const Coord& shape, int n) {
+  NUSTENCIL_CHECK(n >= 1, "decompose_counts: need n >= 1");
+  const int rank = shape.rank();
+  Coord counts = Coord::filled(rank, 1);
+  if (rank == 1) {
+    counts[0] = n;
+    return counts;
+  }
+  int remaining = n;
+  while (remaining > 1) {
+    const int p = smallest_factor(remaining);
+    remaining /= p;
+    // Give the factor to the cuttable dimension (1..rank-1) with the
+    // smallest resulting tile count; ties favour the higher stride.
+    int best = rank - 1;
+    for (int d = rank - 1; d >= 1; --d) {
+      if (counts[d] < counts[best]) best = d;
+    }
+    counts[best] *= p;
+  }
+  return counts;
+}
+
+std::vector<core::Box> decompose_domain(const core::Box& domain, const Coord& counts) {
+  const int rank = domain.rank();
+  NUSTENCIL_CHECK(counts.rank() == rank, "decompose_domain: rank mismatch");
+  for (int d = 0; d < rank; ++d)
+    NUSTENCIL_CHECK(counts[d] <= domain.extent(d),
+                    "decompose_domain: more tiles than elements");
+
+  const Index total = counts.product();
+  std::vector<core::Box> tiles;
+  tiles.reserve(static_cast<std::size_t>(total));
+  for (int idx = 0; idx < total; ++idx) {
+    const Coord tc = tile_coord(counts, idx);
+    core::Box b;
+    b.lo = Coord::filled(rank, 0);
+    b.hi = Coord::filled(rank, 0);
+    for (int d = 0; d < rank; ++d) {
+      const Index extent = domain.extent(d);
+      b.lo[d] = domain.lo[d] + extent * tc[d] / counts[d];
+      b.hi[d] = domain.lo[d] + extent * (tc[d] + 1) / counts[d];
+    }
+    tiles.push_back(b);
+  }
+  return tiles;
+}
+
+Coord tile_coord(const Coord& counts, int idx) {
+  Coord tc = Coord::filled(counts.rank(), 0);
+  Index rest = idx;
+  for (int d = 0; d < counts.rank(); ++d) {
+    tc[d] = rest % counts[d];
+    rest /= counts[d];
+  }
+  NUSTENCIL_DCHECK(rest == 0, "tile_coord: index out of range");
+  return tc;
+}
+
+int tile_index(const Coord& counts, const Coord& tc) {
+  Index idx = 0;
+  Index stride = 1;
+  for (int d = 0; d < counts.rank(); ++d) {
+    idx += tc[d] * stride;
+    stride *= counts[d];
+  }
+  return static_cast<int>(idx);
+}
+
+}  // namespace nustencil::schemes

@@ -1,0 +1,30 @@
+// Spatial domain decomposition (paper Section III-D).
+//
+// n tiles are created by dividing all dimensions except the unit-stride
+// one (cutting unit-stride rows reduces bandwidth utilisation).  Each
+// dimension is subdivided into ~n^(1/(m-2)) tiles; when that is not an
+// integer, dimensions with a higher stride receive more cuts.  For 1D
+// domains there is no choice but to cut the unit-stride dimension.
+#pragma once
+
+#include <vector>
+
+#include "core/box.hpp"
+
+namespace nustencil::schemes {
+
+/// Per-dimension tile counts whose product is exactly n (counts[0] == 1
+/// for rank >= 2).
+Coord decompose_counts(const Coord& shape, int n);
+
+/// Splits `domain` into the grid of tiles given by `counts`, highest
+/// stride slowest (tile index = z_tile * (ny*nx) + y_tile * nx + x_tile).
+std::vector<core::Box> decompose_domain(const core::Box& domain, const Coord& counts);
+
+/// Tile coordinates of linear tile `idx` in the `counts` grid.
+Coord tile_coord(const Coord& counts, int idx);
+
+/// Linear tile index of tile coordinate `tc` (inverse of tile_coord).
+int tile_index(const Coord& counts, const Coord& tc);
+
+}  // namespace nustencil::schemes

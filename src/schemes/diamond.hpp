@@ -1,0 +1,40 @@
+// Diamond — stand-in for PLuTo [Bondhugula et al., PLDI'08].
+//
+// PLuTo's polyhedral transformation of a Jacobi loop nest produces static,
+// fixed-size time-skewed tiles executed as parallel wavefronts with
+// frequent synchronisation, and performs no NUMA-aware allocation.  This
+// scheme reproduces those properties: the highest-stride dimension is cut
+// into one left-skewed parallelogram per thread (a static tile ring), and
+// the ring is executed as a per-time-step pipeline — tile i may compute
+// step t only once tile i-1 has finished step t-1 (a progress-counter
+// wavefront, the moral equivalent of PLuTo's per-diagonal barriers).
+// Serial initialisation leaves every page on node 0.
+#pragma once
+
+#include "schemes/scheme.hpp"
+
+namespace nustencil::schemes {
+
+/// Time-block height the diamond pipeline would use for this
+/// configuration (exposed for --explain).
+long diamond_block_height(const Coord& shape, const core::StencilSpec& stencil,
+                          int threads, long timesteps);
+
+class DiamondScheme : public Scheme {
+ public:
+  /// `block_override` != 0 fixes the time-block height (the "tuned tile
+  /// size" knob of the original).
+  explicit DiamondScheme(long block_override = 0) : block_override_(block_override) {}
+
+  std::string name() const override { return "PLuTo"; }
+  bool numa_aware() const override { return false; }
+  RunResult run(core::Problem& problem, const RunConfig& config) const override;
+  TrafficEstimate estimate_traffic(const topology::MachineSpec& machine, const Coord& shape,
+                                   const core::StencilSpec& stencil, int threads,
+                                   long timesteps) const override;
+
+ private:
+  long block_override_;
+};
+
+}  // namespace nustencil::schemes

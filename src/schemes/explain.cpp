@@ -1,0 +1,157 @@
+#include "schemes/explain.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/spacetime.hpp"
+#include "schemes/cats_common.hpp"
+#include "schemes/decompose.hpp"
+#include "schemes/diamond.hpp"
+#include "schemes/trapezoid.hpp"
+
+namespace nustencil::schemes {
+
+namespace {
+
+std::string bytes_human(double b) {
+  std::ostringstream os;
+  os.precision(3);
+  if (b >= 1 << 20)
+    os << b / (1 << 20) << " MiB";
+  else if (b >= 1 << 10)
+    os << b / (1 << 10) << " KiB";
+  else
+    os << b << " B";
+  return os.str();
+}
+
+void describe_cats(std::ostringstream& os, const Coord& shape,
+                   const core::StencilSpec& st, const topology::MachineSpec& m,
+                   int threads, long timesteps, bool numa_aware) {
+  core::Box updatable;
+  updatable.lo = Coord::filled(3, 0);
+  updatable.hi = shape;
+  updatable.lo[2] += st.order();
+  updatable.hi[2] -= st.order();
+  const CatsPlan plan = plan_cats(updatable, st, m, threads, timesteps, numa_aware);
+  const double wavefront = static_cast<double>(shape[0]) *
+                           static_cast<double>(plan.wy) *
+                           (static_cast<double>(plan.chunk) * st.order() + 2.0 * st.order() + 2.0) *
+                           8.0 * (st.banded() ? (2.0 + st.npoints()) / 2.0 : 1.0);
+  const auto& llc = m.last_level_cache();
+  os << "time-skewed wavefront (CATS family)\n"
+     << "  temporal chunk Tc       : " << plan.chunk << " of " << timesteps
+     << " steps (" << ceil_div(timesteps, plan.chunk) << " pass(es))\n"
+     << "  tile width along y      : " << plan.wy << " cells\n"
+     << "  tiles                   : " << plan.tiles_y << " x " << plan.z_segments
+     << " z-segment(s) = " << plan.num_tiles() << " (threads: " << threads << ")\n"
+     << "  moving wavefront        : ~" << bytes_human(wavefront)
+     << " per tile vs LLC share "
+     << bytes_human(static_cast<double>(llc.size_bytes) / llc.shared_by_cores) << "\n"
+     << "  tile assignment         : "
+     << (numa_aware ? "owner-matched (subdomain decomposition, parallel first touch)"
+                    : "round-robin (serial first touch, all pages on node 0)")
+     << '\n';
+}
+
+void describe_corals(std::ostringstream& os, const Coord& shape,
+                     const core::StencilSpec& st, const topology::MachineSpec& m,
+                     int threads, long timesteps, bool numa_aware) {
+  const int rank = shape.rank();
+  const int s = st.order();
+  const Coord counts = decompose_counts(shape, threads);
+  core::Box domain;
+  domain.lo = Coord::filled(rank, 0);
+  domain.hi = shape;
+  const auto tiles = decompose_domain(domain, counts);
+  Index b = 0;
+  for (int d = 0; d < rank; ++d) {
+    if (counts[d] <= 1) continue;
+    for (const auto& tile : tiles)
+      b = b == 0 ? tile.extent(d) : std::min(b, tile.extent(d));
+  }
+  if (b == 0) b = tiles[0].hi.min();
+  const long tau = std::max<long>(1, b / (2 * s));
+  const long tau_act = std::min<long>(tau, timesteps);
+
+  core::SpaceTimeTile root;
+  root.t0 = 0;
+  root.t1 = tau_act;
+  root.rank = rank;
+  for (int d = 0; d < rank; ++d) {
+    const bool decomposed = counts[d] > 1;
+    const Index lo = decomposed ? tiles[0].lo[d] : 0;
+    const Index hi = decomposed ? tiles[0].hi[d] : shape[d];
+    root.dims[static_cast<std::size_t>(d)] =
+        core::SkewedInterval{lo, hi + 2 * s * (tau_act - 1), -s, -s};
+  }
+  std::vector<core::SpaceTimeTile> bases;
+  core::decompose_parallelogram(root, core::BaseSizes{}, bases);
+
+  os << "bidirectional parallelogram tiling (CORALS family)\n"
+     << "  spatial decomposition   : " << counts << " tiles (unit-stride never cut)\n"
+     << "  smallest tile extent b  : " << b << " cells\n"
+     << "  layer height tau        : " << tau << " = b/(2s); "
+     << ceil_div(timesteps, tau) << " layer(s) with global barriers\n"
+     << "  thread parallelograms   : skewed right, slope +" << s
+     << ", wrap at the domain edge\n"
+     << "  root parallelogram      : skewed left, covers tile + 2s(tau-1) = "
+     << 2 * s * (tau_act - 1) << " cells of right overhang\n"
+     << "  base parallelograms     : " << bases.size()
+     << " per thread per layer (default sizes 32x8x8 cells x 8 steps)\n"
+     << "  expected local fraction : ~" << 100 - 100 * tau / (2 * b)
+     << "% (paper Section III-C: 1 - tau/2b per decomposed dimension)\n"
+     << "  initialisation          : "
+     << (numa_aware ? "parallel first touch by owners" : "serial (all pages on node 0)")
+     << '\n';
+  (void)m;
+}
+
+}  // namespace
+
+std::string describe_plan(const std::string& name, const Coord& shape,
+                          const core::StencilSpec& stencil,
+                          const topology::MachineSpec& machine, int threads,
+                          long timesteps) {
+  std::ostringstream os;
+  os << name << " on " << shape << ", s=" << stencil.order()
+     << (stencil.banded() ? " (banded)" : "") << ", " << timesteps << " steps, "
+     << threads << " thread(s), machine " << machine.name << ":\n";
+
+  if (name == "CATS" || name == "nuCATS") {
+    NUSTENCIL_CHECK(shape.rank() == 3, "describe_plan: CATS family is 3D-only");
+    describe_cats(os, shape, stencil, machine, threads, timesteps, name == "nuCATS");
+  } else if (name == "CORALS" || name == "nuCORALS") {
+    describe_corals(os, shape, stencil, machine, threads, timesteps,
+                    name == "nuCORALS");
+  } else if (name == "NaiveSSE") {
+    const Coord counts = decompose_counts(shape, threads);
+    os << "parallel sweep, no temporal blocking\n"
+       << "  spatial decomposition   : " << counts
+       << " tiles, parallel first touch, barrier per step\n";
+  } else if (name == "Pochoir") {
+    const int d = shape.rank() - 1;
+    const int k = trapezoid_tiles(shape, stencil, threads);
+    os << "two-phase trapezoids (Pochoir stand-in)\n"
+       << "  tiles along dim " << d << "      : " << k << " of width " << shape[d] / k
+       << '\n'
+       << "  time block height       : "
+       << trapezoid_block_height(shape, stencil, threads, timesteps)
+       << " (bounded by W/2s)\n"
+       << "  initialisation          : serial (NUMA-ignorant)\n";
+  } else if (name == "PLuTo") {
+    os << "static skewed tile pipeline (PLuTo stand-in)\n"
+       << "  tiles along highest dim : " << threads << " of width "
+       << shape[shape.rank() - 1] / std::max(1, threads) << '\n'
+       << "  time block height       : "
+       << diamond_block_height(shape, stencil, threads, timesteps)
+       << " (per-step neighbour pipeline)\n"
+       << "  initialisation          : serial (NUMA-ignorant)\n";
+  } else {
+    throw Error("describe_plan: unknown scheme '" + name + "'");
+  }
+  return os.str();
+}
+
+}  // namespace nustencil::schemes

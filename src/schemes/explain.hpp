@@ -1,0 +1,21 @@
+// Human-readable description of the plan a scheme would execute for a
+// given configuration — tile geometry, temporal depth, working sets vs
+// cache capacities — without running anything.  Exposed through the CLI's
+// --explain flag; the single most useful debugging aid when a scheme's
+// performance surprises.
+#pragma once
+
+#include <string>
+
+#include "core/boundary.hpp"
+#include "core/stencil.hpp"
+#include "topology/machine.hpp"
+
+namespace nustencil::schemes {
+
+std::string describe_plan(const std::string& scheme_name, const Coord& shape,
+                          const core::StencilSpec& stencil,
+                          const topology::MachineSpec& machine, int threads,
+                          long timesteps);
+
+}  // namespace nustencil::schemes

@@ -1,0 +1,31 @@
+#include <vector>
+
+#include "schemes/cats.hpp"
+#include "schemes/corals.hpp"
+#include "schemes/diamond.hpp"
+#include "schemes/naive.hpp"
+#include "schemes/nucats.hpp"
+#include "schemes/nucorals.hpp"
+#include "schemes/scheme.hpp"
+#include "schemes/trapezoid.hpp"
+
+namespace nustencil::schemes {
+
+std::unique_ptr<Scheme> make_scheme(const std::string& name) {
+  if (name == "NaiveSSE") return std::make_unique<NaiveScheme>();
+  if (name == "CATS") return std::make_unique<CatsScheme>();
+  if (name == "nuCATS") return std::make_unique<NuCatsScheme>();
+  if (name == "CORALS") return std::make_unique<CoralsScheme>();
+  if (name == "nuCORALS") return std::make_unique<NuCoralsScheme>();
+  if (name == "Pochoir") return std::make_unique<TrapezoidScheme>();
+  if (name == "PLuTo") return std::make_unique<DiamondScheme>();
+  throw Error("make_scheme: unknown scheme '" + name + "'");
+}
+
+const std::vector<std::string>& scheme_names() {
+  static const std::vector<std::string> names = {
+      "NaiveSSE", "CATS", "nuCATS", "CORALS", "nuCORALS", "Pochoir", "PLuTo"};
+  return names;
+}
+
+}  // namespace nustencil::schemes

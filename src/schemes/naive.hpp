@@ -1,0 +1,22 @@
+// NaiveSSE (paper Section IV-A): a naive scheme with all the cheap
+// optimisations — pthread parallelisation over a NUMA-aware domain
+// decomposition, SSE2-vectorised kernels, and first-touch data allocation.
+// No temporal blocking: every time step sweeps the whole domain with a
+// barrier in between, so performance sits between SysBand0C and SysBandIC.
+#pragma once
+
+#include "schemes/scheme.hpp"
+
+namespace nustencil::schemes {
+
+class NaiveScheme : public Scheme {
+ public:
+  std::string name() const override { return "NaiveSSE"; }
+  bool numa_aware() const override { return true; }
+  RunResult run(core::Problem& problem, const RunConfig& config) const override;
+  TrafficEstimate estimate_traffic(const topology::MachineSpec& machine, const Coord& shape,
+                                   const core::StencilSpec& stencil, int threads,
+                                   long timesteps) const override;
+};
+
+}  // namespace nustencil::schemes

@@ -1,0 +1,26 @@
+// nuCATS — the paper's NUMA-aware, cache-aware scheme (Section II).
+//
+// The in-tile wavefront traversal is inherited from CATS; what changes is
+// the tiling and scheduling: the domain is decomposed into per-thread
+// subdomains (parallel first-touch allocation), the tile count is adjusted
+// to equal or divide into the thread count, and every tile is assigned to
+// the thread whose subdomain contains it.  When the thread count exceeds
+// the number of cache-sized tiles, the tile count stops shrinking at
+// nthreads/2 and the wavefront-traversal dimension is halved instead.
+#pragma once
+
+#include "schemes/scheme.hpp"
+
+namespace nustencil::schemes {
+
+class NuCatsScheme : public Scheme {
+ public:
+  std::string name() const override { return "nuCATS"; }
+  bool numa_aware() const override { return true; }
+  RunResult run(core::Problem& problem, const RunConfig& config) const override;
+  TrafficEstimate estimate_traffic(const topology::MachineSpec& machine, const Coord& shape,
+                                   const core::StencilSpec& stencil, int threads,
+                                   long timesteps) const override;
+};
+
+}  // namespace nustencil::schemes

@@ -1,0 +1,21 @@
+#include "schemes/nucorals.hpp"
+
+namespace nustencil::schemes {
+
+RunResult NuCoralsScheme::run(core::Problem& problem, const RunConfig& config) const {
+  CoralsParams params;
+  params.name = name();
+  params.numa_init = true;
+  params.owner_shift = 0;
+  params.tau_override = tau_override_;
+  return run_corals_like(problem, config, params);
+}
+
+TrafficEstimate NuCoralsScheme::estimate_traffic(const topology::MachineSpec& machine,
+                                                 const Coord& shape,
+                                                 const core::StencilSpec& stencil,
+                                                 int threads, long timesteps) const {
+  return estimate_corals_traffic(machine, shape, stencil, threads, timesteps);
+}
+
+}  // namespace nustencil::schemes

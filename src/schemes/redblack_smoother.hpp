@@ -1,0 +1,31 @@
+// Parallel NUMA-aware red-black Gauss-Seidel smoother.
+//
+// The in-place counterpart of NaiveSSE: the domain is decomposed across
+// the non-unit-stride dimensions, each thread first-touches its own tile,
+// and every iteration runs a red half-sweep, a barrier, a black
+// half-sweep, a barrier.  Within a half-sweep same-coloured cells are
+// independent, so no finer synchronisation is needed.
+#pragma once
+
+#include "core/redblack.hpp"
+#include "schemes/scheme.hpp"
+
+namespace nustencil::schemes {
+
+struct RedBlackResult {
+  double seconds = 0.0;
+  Index updates = 0;
+  double locality = 1.0;  ///< measured when machine != nullptr
+};
+
+/// Runs `iterations` red-black sweeps in place over `field` (which must be
+/// uninitialised; each thread fills its own tile with Problem-compatible
+/// values for `seed`).  When `machine` is given, first-touch placement and
+/// traffic are measured against its virtual topology.
+RedBlackResult run_redblack_smoother(core::Field& field,
+                                     const core::StencilSpec& stencil,
+                                     long iterations, int threads,
+                                     const topology::MachineSpec* machine = nullptr,
+                                     unsigned seed = 42);
+
+}  // namespace nustencil::schemes

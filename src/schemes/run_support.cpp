@@ -1,0 +1,108 @@
+#include "schemes/run_support.hpp"
+
+#include "common/error.hpp"
+
+namespace nustencil::schemes {
+
+const topology::MachineSpec& default_machine() {
+  static const topology::MachineSpec machine = topology::xeonX7550();
+  return machine;
+}
+
+RunSupport::RunSupport(core::Problem& problem, const RunConfig& config)
+    : problem_(&problem), config_(&config) {
+  machine_ = config.machine ? config.machine : &default_machine();
+  NUSTENCIL_CHECK(config.num_threads >= 1, "RunConfig: need at least one thread");
+  NUSTENCIL_CHECK(config.timesteps >= 1, "RunConfig: need at least one time step");
+  if (config.instrument) {
+    NUSTENCIL_CHECK(config.num_threads <= machine_->cores(),
+                    "RunConfig: more threads than cores on the instrumented machine");
+    pages_.emplace(config.page_bytes);
+    topo_.emplace(*machine_, config.pin_policy);
+    recorder_.emplace(*pages_, *topo_, config.num_threads);
+    problem.attach(*pages_);
+  }
+  if (config.check_dependencies) checker_.emplace(problem.volume());
+
+  core::Instrumentation instr;
+  instr.pages = pages_ ? &*pages_ : nullptr;
+  instr.traffic = recorder_ ? &*recorder_ : nullptr;
+  instr.checker = checker_ ? &*checker_ : nullptr;
+  instr.cache_sim = config.cache_sim;
+  for (int tid = 0; tid < config.num_threads; ++tid)
+    executors_.push_back(std::make_unique<core::Executor>(problem, instr, config.use_simd));
+
+  team_ = std::make_unique<threading::Team>(config.num_threads, config.pin_threads);
+}
+
+void RunSupport::run_workers(const std::function<void(int)>& body) {
+  team_->run([&](int tid) {
+    try {
+      body(tid);
+    } catch (...) {
+      abort_.trigger();
+      throw;
+    }
+  });
+}
+
+int RunSupport::node_of_thread(int tid) const {
+  return topo_ ? topo_->node_of_thread(tid) : 0;
+}
+
+void RunSupport::serial_init() {
+  core::Box whole;
+  whole.lo = Coord::filled(problem_->shape().rank(), 0);
+  whole.hi = problem_->shape();
+  executors_[0]->first_touch_box(whole, /*node=*/0, config_->seed);
+}
+
+void RunSupport::finalize_boundary() {
+  const core::Boundary& bc = config_->boundary;
+  const Coord& shape = problem_->shape();
+  const int rank = shape.rank();
+  if (bc.all_periodic(rank)) return;
+
+  const core::Box interior = core::updatable_box(shape, problem_->stencil(), bc);
+  const Coord strides = strides_for(shape);
+  double* u0 = problem_->buffer(0).data();
+  double* u1 = problem_->buffer(1).data();
+
+  Coord pos = Coord::filled(rank, 0);
+  const Index volume = problem_->volume();
+  for (Index i = 0; i < volume; ++i) {
+    bool inside = true;
+    for (int d = 0; d < rank; ++d)
+      inside = inside && pos[d] >= interior.lo[d] && pos[d] < interior.hi[d];
+    if (!inside) {
+      u1[i] = u0[i];
+      if (checker_) checker_->freeze(i);
+    }
+    // Advance the odometer.
+    for (int d = 0; d < rank; ++d) {
+      if (++pos[d] < shape[d]) break;
+      pos[d] = 0;
+    }
+    (void)strides;
+  }
+}
+
+Index RunSupport::total_updates() const {
+  Index total = 0;
+  for (const auto& e : executors_) total += e->updates_done();
+  return total;
+}
+
+RunResult RunSupport::finish(const std::string& scheme_name, double seconds) {
+  RunResult r;
+  r.scheme = scheme_name;
+  r.threads = config_->num_threads;
+  r.timesteps = config_->timesteps;
+  r.seconds = seconds;
+  r.updates = total_updates();
+  if (recorder_) r.traffic = recorder_->collect();
+  if (checker_) checker_->check_all_at(config_->timesteps);
+  return r;
+}
+
+}  // namespace nustencil::schemes

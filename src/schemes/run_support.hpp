@@ -1,0 +1,78 @@
+// Shared scaffolding for scheme implementations: instrumentation setup,
+// the worker team, per-thread executors, boundary initialisation, and
+// result assembly.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/executor.hpp"
+#include "core/reference.hpp"
+#include "numa/page_table.hpp"
+#include "numa/traffic.hpp"
+#include "schemes/scheme.hpp"
+#include "thread/abort.hpp"
+#include "thread/team.hpp"
+
+namespace nustencil::schemes {
+
+/// The machine used for instrumentation when RunConfig::machine is null.
+const topology::MachineSpec& default_machine();
+
+class RunSupport {
+ public:
+  RunSupport(core::Problem& problem, const RunConfig& config);
+
+  core::Problem& problem() { return *problem_; }
+  const RunConfig& config() const { return *config_; }
+  const topology::MachineSpec& machine() const { return *machine_; }
+  threading::Team& team() { return *team_; }
+
+  /// Abort token shared by all spin-waits/barriers of this run.
+  const threading::AbortToken& abort() const { return abort_; }
+
+  /// Runs body(tid) on the team; a throwing worker triggers the abort
+  /// token so every other worker unwinds from its spin-waits, then the
+  /// first exception is rethrown here.
+  void run_workers(const std::function<void(int)>& body);
+
+  /// Per-thread executor (one per worker; never shared between threads).
+  core::Executor& executor(int tid) { return *executors_[static_cast<std::size_t>(tid)]; }
+
+  /// NUMA node of worker `tid` under the virtual (fill-socket-first)
+  /// placement of the instrumented machine; 0 when not instrumenting.
+  int node_of_thread(int tid) const;
+
+  /// Serial allocation/initialisation by "thread 0": fills the whole
+  /// problem and first-touches every page on node 0 — exactly what a
+  /// NUMA-ignorant scheme gets from the kernel.
+  void serial_init();
+
+  /// Freezes Dirichlet boundary cells (copies them into the second buffer
+  /// and marks them in the dependency checker).  Call after the data has
+  /// been initialised.
+  void finalize_boundary();
+
+  /// Total cell updates performed by all executors so far.
+  Index total_updates() const;
+
+  /// Assembles the RunResult (collects traffic, verifies the dependency
+  /// checker reached `timesteps` everywhere).
+  RunResult finish(const std::string& scheme_name, double seconds);
+
+ private:
+  core::Problem* problem_;
+  const RunConfig* config_;
+  const topology::MachineSpec* machine_;
+  std::optional<numa::PageTable> pages_;
+  std::optional<numa::VirtualTopology> topo_;
+  std::optional<numa::TrafficRecorder> recorder_;
+  std::optional<core::DependencyChecker> checker_;
+  std::vector<std::unique_ptr<core::Executor>> executors_;
+  std::unique_ptr<threading::Team> team_;
+  threading::AbortToken abort_;
+};
+
+}  // namespace nustencil::schemes

@@ -1,0 +1,113 @@
+// The common interface of all iterative stencil schemes.
+//
+// A Scheme executes `timesteps` Jacobi updates of a Problem with a given
+// thread count, really — threads, barriers and spin-flags all run — and
+// optionally instrumented: a first-touch page table plus traffic recorder
+// measure the data-to-core affinity the performance model needs, and a
+// dependency checker validates the tiling order.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cachesim/shared.hpp"
+#include "core/boundary.hpp"
+#include "core/field.hpp"
+#include "numa/traffic.hpp"
+#include "topology/machine.hpp"
+
+namespace nustencil::schemes {
+
+struct RunConfig {
+  int num_threads = 1;
+  long timesteps = 1;
+  core::Boundary boundary = core::Boundary::periodic();
+
+  /// Measure first-touch placement and local/remote traffic against the
+  /// virtual topology of `machine`.
+  bool instrument = false;
+
+  /// Validate the dependency order of every single cell update (slow).
+  bool check_dependencies = false;
+
+  bool use_simd = true;
+
+  /// Pin worker threads to host cores (harmless no-op on small hosts).
+  bool pin_threads = false;
+
+  /// Optional trace-driven cache simulation: when set, the executors feed
+  /// their (row-granular) access stream into this hierarchy with real
+  /// data addresses; thread tid maps to simulated core tid.  Use small
+  /// domains — every access is simulated per cache line.
+  cachesim::SharedHierarchy* cache_sim = nullptr;
+
+  /// Machine whose topology drives thread->node placement when
+  /// instrumenting; defaults to xeonX7550() when null.
+  const topology::MachineSpec* machine = nullptr;
+
+  /// Thread-to-node placement policy for instrumentation (the paper pins
+  /// compactly; scatter is for the pinning ablation).
+  numa::PinPolicy pin_policy = numa::PinPolicy::Compact;
+
+  /// Page size of the instrumented first-touch page table.  Measurement
+  /// runs on scaled-down domains shrink this proportionally so that the
+  /// page-to-row ratio (and hence the measured locality) matches the
+  /// paper-scale domain under real 4 KiB pages.
+  Index page_bytes = 4096;
+
+  unsigned seed = 42;
+};
+
+struct RunResult {
+  std::string scheme;
+  int threads = 0;
+  long timesteps = 0;
+  double seconds = 0.0;
+  Index updates = 0;
+  numa::TrafficStats traffic;           ///< empty unless instrumented
+  std::map<std::string, double> details;  ///< scheme-specific parameters
+
+  double gupdates_per_second() const {
+    return seconds > 0 ? static_cast<double>(updates) / seconds * 1e-9 : 0.0;
+  }
+};
+
+/// Analytic estimate of main-memory traffic, in doubles per cell update,
+/// used by the performance model (the shapes of Figs. 4-22 follow from
+/// this together with the measured locality).
+struct TrafficEstimate {
+  double mem_doubles_per_update = 0.0;  ///< to/from main memory
+  double llc_doubles_per_update = 0.0;  ///< served by the last-level cache
+};
+
+class Scheme {
+ public:
+  virtual ~Scheme() = default;
+
+  virtual std::string name() const = 0;
+
+  /// True when the scheme observes the data-to-core affinity requirement.
+  virtual bool numa_aware() const = 0;
+
+  /// Executes the scheme.  The problem must be freshly constructed and NOT
+  /// initialised: every scheme performs its own allocation/initialisation
+  /// phase (serial for NUMA-ignorant schemes, parallel first-touch for
+  /// NUMA-aware ones).  After the call, problem.buffer(timesteps) holds
+  /// the values of time step `timesteps`.
+  virtual RunResult run(core::Problem& problem, const RunConfig& config) const = 0;
+
+  /// Analytic memory traffic for the performance model.
+  virtual TrafficEstimate estimate_traffic(const topology::MachineSpec& machine,
+                                           const Coord& shape,
+                                           const core::StencilSpec& stencil,
+                                           int threads, long timesteps) const = 0;
+};
+
+/// All schemes of the paper's evaluation, by figure legend name.
+std::unique_ptr<Scheme> make_scheme(const std::string& name);
+
+/// Legend names accepted by make_scheme.
+const std::vector<std::string>& scheme_names();
+
+}  // namespace nustencil::schemes

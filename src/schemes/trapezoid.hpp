@@ -1,0 +1,38 @@
+// Trapezoid — stand-in for Pochoir [Tang et al., SPAA'11].
+//
+// Pochoir's runtime executes the Frigo-Strumpen cache-oblivious trapezoidal
+// decomposition with fork-join parallelism and no data-to-core affinity.
+// This scheme reproduces exactly those properties with a two-phase
+// trapezoid schedule over time blocks of height H along the highest-stride
+// dimension:
+//   Phase A: K shrinking trapezoids (slopes +s/-s) — mutually independent,
+//            executed in parallel;
+//   Phase B: K expanding trapezoids filling the gaps between them —
+//            independent of each other once phase A finished (barrier).
+// Data is initialised serially (all pages on node 0) and trapezoids are
+// assigned round-robin — NUMA-ignorant by construction, which is the
+// property Figs. 20-22 compare against.
+#pragma once
+
+#include "schemes/scheme.hpp"
+
+namespace nustencil::schemes {
+
+/// Tile count and time-block height the trapezoid schedule would use
+/// (exposed for --explain so the description can never drift from the
+/// execution).
+int trapezoid_tiles(const Coord& shape, const core::StencilSpec& stencil, int threads);
+long trapezoid_block_height(const Coord& shape, const core::StencilSpec& stencil,
+                            int threads, long timesteps);
+
+class TrapezoidScheme : public Scheme {
+ public:
+  std::string name() const override { return "Pochoir"; }
+  bool numa_aware() const override { return false; }
+  RunResult run(core::Problem& problem, const RunConfig& config) const override;
+  TrafficEstimate estimate_traffic(const topology::MachineSpec& machine, const Coord& shape,
+                                   const core::StencilSpec& stencil, int threads,
+                                   long timesteps) const override;
+};
+
+}  // namespace nustencil::schemes

@@ -1,0 +1,51 @@
+// Sense-reversing centralized barrier.
+//
+// The paper synchronises all threads with pthread barriers at the boundary
+// of each layer of space-time slices ("global synchronisation").  We use a
+// sense-reversing barrier that spins with a yield so that oversubscribed
+// runs (more threads than hardware cores, the normal case on the 1-core CI
+// host) make progress instead of livelocking.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "common/error.hpp"
+#include "thread/abort.hpp"
+
+namespace nustencil::threading {
+
+class Barrier {
+ public:
+  explicit Barrier(int participants) : participants_(participants) {
+    NUSTENCIL_CHECK(participants >= 1, "Barrier: participants must be >= 1");
+  }
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until all participants have arrived.  When `abort` is given
+  /// and triggers, throws instead of spinning forever (the barrier is then
+  /// in teardown and must not be reused).
+  void arrive_and_wait(const AbortToken* abort = nullptr) {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == participants_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        if (abort) abort->check();
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  int participants() const { return participants_; }
+
+ private:
+  const int participants_;
+  std::atomic<int> arrived_{0};
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace nustencil::threading

@@ -1,0 +1,88 @@
+// Spin-wait synchronisation flags ("local synchronisation" in the paper).
+//
+// nuCORALS attaches a structure of flags to each thread: one flag per base
+// parallelogram index within the root parallelogram.  A consumer thread
+// spin-waits on the flag of a base parallelogram that intersects its
+// boundary; the producing neighbour sets it after computing the lower part.
+// CATS/nuCATS use the same mechanism for tile-boundary pipelining, with one
+// monotone counter per tile boundary.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "thread/abort.hpp"
+
+namespace nustencil::threading {
+
+/// A fixed-size array of one-shot flags, each on its own cache line.
+class FlagArray {
+ public:
+  explicit FlagArray(std::size_t n) : flags_(n) {}
+
+  void reset() {
+    for (auto& f : flags_) f.value.store(0, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+
+  void set(std::size_t i) {
+    NUSTENCIL_DCHECK(i < flags_.size(), "FlagArray::set out of range");
+    flags_[i].value.store(1, std::memory_order_release);
+  }
+
+  bool test(std::size_t i) const {
+    NUSTENCIL_DCHECK(i < flags_.size(), "FlagArray::test out of range");
+    return flags_[i].value.load(std::memory_order_acquire) != 0;
+  }
+
+  /// Spin (with yield) until flag `i` is set; throws on abort.
+  void wait(std::size_t i, const AbortToken* abort = nullptr) const {
+    while (!test(i)) {
+      if (abort) abort->check();
+      std::this_thread::yield();
+    }
+  }
+
+  std::size_t size() const { return flags_.size(); }
+
+ private:
+  struct alignas(kCacheLineBytes) PaddedFlag {
+    std::atomic<int> value{0};
+  };
+  std::vector<PaddedFlag> flags_;
+};
+
+/// A monotonically increasing progress counter (one per pipeline stage),
+/// padded to its own cache line.
+class ProgressCounter {
+ public:
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  /// Publish that progress has reached at least `v`.
+  void advance_to(long v) {
+    NUSTENCIL_DCHECK(v >= value_.load(std::memory_order_relaxed),
+                     "ProgressCounter must be monotone");
+    value_.store(v, std::memory_order_release);
+  }
+
+  long current() const { return value_.load(std::memory_order_acquire); }
+
+  /// Spin (with yield) until the counter reaches at least `v`; throws on
+  /// abort.
+  void wait_for(long v, const AbortToken* abort = nullptr) const {
+    while (current() < v) {
+      if (abort) abort->check();
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  alignas(kCacheLineBytes) std::atomic<long> value_{0};
+};
+
+}  // namespace nustencil::threading

@@ -1,0 +1,100 @@
+#include "thread/team.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace nustencil::threading {
+
+bool pin_self_to_core(int core) {
+#if defined(__linux__)
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(core) % hw, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)core;
+  return false;
+#endif
+}
+
+struct Team::Impl {
+  std::vector<std::thread> workers;
+  std::mutex mutex;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  const std::function<void(int)>* body = nullptr;
+  std::uint64_t generation = 0;
+  int remaining = 0;
+  bool stop = false;
+  std::exception_ptr first_error;
+
+  void worker_loop(int tid, bool pin) {
+    if (pin) pin_self_to_core(tid);
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(int)>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv_work.wait(lock, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+        job = body;
+      }
+      try {
+        (*job)(tid);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--remaining == 0) cv_done.notify_all();
+      }
+    }
+  }
+};
+
+Team::Team(int size, bool pin) : impl_(new Impl), size_(size) {
+  NUSTENCIL_CHECK(size >= 1, "Team size must be >= 1");
+  impl_->workers.reserve(static_cast<std::size_t>(size));
+  for (int tid = 0; tid < size; ++tid) {
+    impl_->workers.emplace_back([this, tid, pin] { impl_->worker_loop(tid, pin); });
+  }
+}
+
+Team::~Team() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void Team::run(const std::function<void(int)>& body) {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->body = &body;
+    impl_->remaining = size_;
+    impl_->first_error = nullptr;
+    ++impl_->generation;
+    impl_->cv_work.notify_all();
+    impl_->cv_done.wait(lock, [&] { return impl_->remaining == 0; });
+    error = impl_->first_error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace nustencil::threading

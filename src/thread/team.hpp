@@ -1,0 +1,43 @@
+// A team of pinned worker threads executing fork-join parallel regions.
+//
+// All schemes in the paper are parallelised with pthreads: a fixed team is
+// created once, each member is pinned to a core (fill-socket-first, Section
+// IV-B), and the team then executes the scheme's phases.  Team mirrors that
+// structure: run(f) invokes f(tid) on every member and joins.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace nustencil::threading {
+
+/// Pins the calling thread to hardware core `core % hardware_cores`.
+/// Returns false when pinning is unsupported or fails (the virtual
+/// topology in numa/ still records the *logical* placement, which is what
+/// the simulation uses).
+bool pin_self_to_core(int core);
+
+class Team {
+ public:
+  /// Creates `size` workers. When `pin` is true each worker tid pins itself
+  /// to hardware core tid (modulo available cores) before accepting work.
+  explicit Team(int size, bool pin = true);
+  ~Team();
+
+  Team(const Team&) = delete;
+  Team& operator=(const Team&) = delete;
+
+  int size() const { return size_; }
+
+  /// Executes body(tid) for tid in [0, size) and waits for completion.
+  /// Exceptions thrown by members are captured; the first one is rethrown
+  /// on the caller after all members finished.
+  void run(const std::function<void(int)>& body);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int size_;
+};
+
+}  // namespace nustencil::threading

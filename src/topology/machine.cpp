@@ -1,0 +1,110 @@
+#include "topology/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace nustencil::topology {
+
+double BandwidthCurve::factor(int cores) const {
+  NUSTENCIL_CHECK(cores >= 1, "BandwidthCurve::factor: cores must be >= 1");
+  NUSTENCIL_CHECK(!anchors.empty(), "BandwidthCurve: no anchors");
+  if (cores <= anchors.front().first) return anchors.front().second;
+  for (std::size_t i = 1; i < anchors.size(); ++i) {
+    const auto [c0, f0] = anchors[i - 1];
+    const auto [c1, f1] = anchors[i];
+    if (cores == c1) return f1;
+    if (cores < c1) {
+      // Geometric interpolation in log(cores): bandwidth scaling between
+      // anchor core counts behaves multiplicatively.
+      const double t = (std::log2(static_cast<double>(cores)) - std::log2(static_cast<double>(c0))) /
+                       (std::log2(static_cast<double>(c1)) - std::log2(static_cast<double>(c0)));
+      return f0 * std::pow(f1 / f0, t);
+    }
+  }
+  return anchors.back().second;  // saturate beyond the last anchor
+}
+
+int MachineSpec::active_sockets(int n) const {
+  NUSTENCIL_CHECK(n >= 1 && n <= cores(), "active_sockets: bad thread count");
+  return (n + cores_per_socket - 1) / cores_per_socket;
+}
+
+double MachineSpec::sys_bw_at(int n) const {
+  const double full_factor = sys_bw_scaling.factor(cores());
+  return sys_bw_gbs * sys_bw_scaling.factor(n) / full_factor;
+}
+
+double MachineSpec::node_controller_bw() const {
+  return sys_bw_at(cores_per_socket);
+}
+
+double MachineSpec::cache_bw_per_core(std::size_t level) const {
+  NUSTENCIL_CHECK(level < caches.size(), "cache_bw_per_core: bad level");
+  return caches[level].aggregate_bw_gbs / cores();
+}
+
+MachineSpec opteron8222() {
+  MachineSpec m;
+  m.name = "Opteron 8222";
+  m.sockets = 8;
+  m.cores_per_socket = 2;
+  m.ghz = 3.0;
+  m.caches = {
+      {"L1", 64 * 1024, 1, 64, 2, 675.3},
+      {"L2", 1024 * 1024, 1, 64, 16, 185.7},  // last-level (LL1) cache
+  };
+  m.sys_bw_gbs = 11.9;
+  m.peak_dp_gflops = 95.3;
+  // Section IV-C: 1 -> 2 cores x1.6 (socket filled); overall x6.5 with all
+  // 16 cores.  Socket transitions interpolated geometrically.
+  m.sys_bw_scaling.anchors = {{1, 1.0}, {2, 1.6}, {4, 2.55}, {8, 4.08}, {16, 6.5}};
+  m.remote_penalty = 2.0;  // HyperTransport hop, typical measured factor
+  return m;
+}
+
+MachineSpec xeonX7550() {
+  MachineSpec m;
+  m.name = "Xeon X7550";
+  m.sockets = 4;
+  m.cores_per_socket = 8;
+  m.ghz = 2.0;
+  m.caches = {
+      {"L1", 32 * 1024, 1, 64, 8, 819.1},
+      {"L2", 256 * 1024, 1, 64, 8, 642.8},
+      {"L3", 18 * 1024 * 1024, 8, 64, 16, 588.6},  // 2.25 MiB/core shared per socket
+  };
+  m.sys_bw_gbs = 63.0;
+  m.peak_dp_gflops = 202.5;
+  // Section IV-C / IV-D: 1 -> 2 nearly linear, 2 -> 4 x1.7, 4 -> 8 x1.5
+  // (socket saturated), 38.7 GB/s at 16 cores and 63.0 GB/s at 32 cores
+  // give the socket-level anchors.
+  m.sys_bw_scaling.anchors = {{1, 1.0}, {2, 2.0},  {4, 3.4},
+                              {8, 5.1}, {16, 8.41}, {32, 13.7}};
+  m.remote_penalty = 2.0;  // QPI hop
+  return m;
+}
+
+MachineSpec host() {
+  MachineSpec m;
+  m.name = "host";
+  m.sockets = 1;
+  const unsigned hw = std::thread::hardware_concurrency();
+  m.cores_per_socket = hw == 0 ? 1 : static_cast<int>(hw);
+  m.ghz = 2.0;
+  m.caches = {
+      {"L1", 32 * 1024, 1, 64, 8, 100.0 * m.cores()},
+      {"L2", 1024 * 1024, 1, 64, 16, 50.0 * m.cores()},
+      {"L3", 32 * 1024 * 1024, m.cores_per_socket, 64, 16, 30.0 * m.cores()},
+  };
+  m.sys_bw_gbs = 10.0 * m.cores();
+  m.peak_dp_gflops = 8.0 * m.ghz * m.cores();
+  m.sys_bw_scaling.anchors = {{1, 1.0}, {std::max(2, m.cores()), static_cast<double>(std::max(2, m.cores())) * 0.6}};
+  if (m.cores() == 1) m.sys_bw_scaling.anchors = {{1, 1.0}};
+  m.remote_penalty = 1.0;
+  return m;
+}
+
+}  // namespace nustencil::topology

@@ -1,0 +1,93 @@
+// Machine descriptions for the performance model.
+//
+// The paper evaluates on two real ccNUMA machines (Table I):
+//   * AMD Opteron 8222 "Santa Rosa": 8 sockets x 2 cores, 3.0 GHz,
+//     L1 64 KiB + L2 1 MiB per core (L2 is the last level),
+//     measured L1 675.3 GB/s, L2 185.7 GB/s, system 11.9 GB/s,
+//     peak DP 95.3 GFLOPS.
+//   * Intel Xeon X7550 "Beckton": 4 sockets x 8 cores, 2.0 GHz,
+//     L1 32 KiB + L2 256 KiB per core, L3 2.25 MiB/core (18 MiB shared
+//     per socket), measured L1 819.1 GB/s, L2 642.8 GB/s, L3 588.6 GB/s,
+//     system 63.0 GB/s, peak DP 202.5 GFLOPS.
+//
+// MachineSpec encodes everything the model needs.  Aggregate numbers are
+// for the fully populated machine; scaling with the number of active cores
+// is described by BandwidthCurve (bandwidth.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nustencil::topology {
+
+/// One level of the cache hierarchy.
+struct CacheLevel {
+  std::string name;          ///< "L1", "L2", "L3"
+  Index size_bytes;          ///< capacity per sharing group
+  int shared_by_cores;       ///< 1 = private per core, >1 = shared
+  Index line_bytes;          ///< cache line size
+  int associativity;         ///< ways (0 = fully associative)
+  double aggregate_bw_gbs;   ///< measured bandwidth, all cores active
+};
+
+/// Anchor points (cores -> bandwidth factor relative to 1 core) of the
+/// measured STREAM COPY scaling curve; geometric interpolation in between.
+struct BandwidthCurve {
+  std::vector<std::pair<int, double>> anchors;
+
+  /// Scaling factor at `cores` active cores (>= 1).
+  double factor(int cores) const;
+};
+
+struct MachineSpec {
+  std::string name;
+  int sockets = 1;
+  int cores_per_socket = 1;
+  double ghz = 1.0;
+
+  /// L1 first; the last entry is the last-level cache (LL1 in the paper).
+  std::vector<CacheLevel> caches;
+
+  double sys_bw_gbs = 0.0;        ///< aggregate system bandwidth, all cores
+  double peak_dp_gflops = 0.0;    ///< aggregate measured DP peak, all cores
+  BandwidthCurve sys_bw_scaling;  ///< STREAM COPY scaling (Fig. 3)
+
+  /// Local-to-remote bandwidth penalty for one NUMA hop (typ. ~2).
+  double remote_penalty = 2.0;
+
+  int cores() const { return sockets * cores_per_socket; }
+  int numa_nodes() const { return sockets; }
+
+  const CacheLevel& last_level_cache() const { return caches.back(); }
+
+  /// Sockets in use when `n` threads are pinned fill-socket-first.
+  int active_sockets(int n) const;
+
+  /// Aggregate system bandwidth (GB/s) with `n` active cores.
+  double sys_bw_at(int n) const;
+
+  /// Bandwidth (GB/s) a single memory controller (NUMA node) can deliver,
+  /// i.e. the system bandwidth of a one-socket configuration.
+  double node_controller_bw() const;
+
+  /// Per-core bandwidth of cache level `level` (caches scale linearly with
+  /// cores since each core has its own path, Fig. 3).
+  double cache_bw_per_core(std::size_t level) const;
+
+  /// NUMA node that owns core `core` under fill-socket-first pinning.
+  int node_of_core(int core) const { return core / cores_per_socket; }
+};
+
+/// The 8-socket dual-core AMD Opteron 8222 testbed of the paper.
+MachineSpec opteron8222();
+
+/// The 4-socket oct-core Intel Xeon X7550 testbed of the paper.
+MachineSpec xeonX7550();
+
+/// Best-effort description of the host this process runs on (used only by
+/// wall-clock benches; figures use the two paper machines above).
+MachineSpec host();
+
+}  // namespace nustencil::topology

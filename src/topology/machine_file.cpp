@@ -1,0 +1,116 @@
+#include "topology/machine_file.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace nustencil::topology {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& origin, int line, const std::string& what) {
+  throw Error(origin + ":" + std::to_string(line) + ": " + what);
+}
+
+std::string trim(const std::string& s) {
+  const auto a = s.find_first_not_of(" \t\r");
+  if (a == std::string::npos) return "";
+  const auto b = s.find_last_not_of(" \t\r");
+  return s.substr(a, b - a + 1);
+}
+
+}  // namespace
+
+MachineSpec parse_machine(std::istream& in, const std::string& origin) {
+  MachineSpec m;
+  m.name.clear();
+  m.caches.clear();
+  m.sys_bw_scaling.anchors.clear();
+  bool has_sys_bw = false, has_peak = false;
+
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string line = raw;
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) fail(origin, lineno, "expected 'key = value'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (value.empty()) fail(origin, lineno, "empty value for '" + key + "'");
+
+    std::istringstream vs(value);
+    if (key == "name") {
+      m.name = value;
+    } else if (key == "sockets") {
+      vs >> m.sockets;
+    } else if (key == "cores_per_socket") {
+      vs >> m.cores_per_socket;
+    } else if (key == "ghz") {
+      vs >> m.ghz;
+    } else if (key == "sys_bw_gbs") {
+      vs >> m.sys_bw_gbs;
+      has_sys_bw = true;
+    } else if (key == "peak_dp_gflops") {
+      vs >> m.peak_dp_gflops;
+      has_peak = true;
+    } else if (key == "remote_penalty") {
+      vs >> m.remote_penalty;
+    } else if (key == "cache") {
+      CacheLevel c;
+      vs >> c.name >> c.size_bytes >> c.shared_by_cores >> c.line_bytes >>
+          c.associativity >> c.aggregate_bw_gbs;
+      if (vs.fail()) {
+        fail(origin, lineno,
+             "cache expects: <name> <size_bytes> <shared_by> <line> <assoc> <bw_gbs>");
+      }
+      m.caches.push_back(c);
+    } else if (key == "scaling") {
+      std::string pair;
+      while (vs >> pair) {
+        const auto colon = pair.find(':');
+        if (colon == std::string::npos)
+          fail(origin, lineno, "scaling expects <cores>:<factor> pairs");
+        const int cores = std::atoi(pair.substr(0, colon).c_str());
+        const double factor = std::atof(pair.substr(colon + 1).c_str());
+        if (cores < 1 || factor <= 0.0)
+          fail(origin, lineno, "scaling pair '" + pair +
+                                   "' must have cores >= 1 and factor > 0");
+        m.sys_bw_scaling.anchors.emplace_back(cores, factor);
+      }
+    } else {
+      fail(origin, lineno, "unknown key '" + key + "'");
+    }
+    if (key != "cache" && key != "scaling" && key != "name" && vs.fail())
+      fail(origin, lineno, "malformed value for '" + key + "'");
+  }
+
+  if (m.name.empty()) fail(origin, lineno, "missing required key 'name'");
+  if (m.caches.empty()) fail(origin, lineno, "need at least one 'cache' line");
+  if (!has_sys_bw) fail(origin, lineno, "missing required key 'sys_bw_gbs'");
+  if (!has_peak) fail(origin, lineno, "missing required key 'peak_dp_gflops'");
+  NUSTENCIL_CHECK(m.sockets >= 1 && m.cores_per_socket >= 1,
+                  origin + ": sockets and cores_per_socket must be >= 1");
+  if (m.sys_bw_scaling.anchors.empty())
+    m.sys_bw_scaling.anchors = {{1, 1.0},
+                                {m.cores(), static_cast<double>(m.cores()) * 0.5}};
+  for (std::size_t i = 1; i < m.sys_bw_scaling.anchors.size(); ++i)
+    NUSTENCIL_CHECK(m.sys_bw_scaling.anchors[i].first >
+                        m.sys_bw_scaling.anchors[i - 1].first,
+                    origin + ": scaling anchors must have increasing core counts");
+  return m;
+}
+
+MachineSpec load_machine(const std::string& path) {
+  std::ifstream in(path);
+  NUSTENCIL_CHECK(in.good(), "load_machine: cannot open " + path);
+  return parse_machine(in, path);
+}
+
+}  // namespace nustencil::topology

@@ -1,0 +1,38 @@
+// Loading MachineSpec descriptions from plain-text config files, so users
+// can model their own ccNUMA machines without recompiling.
+//
+// Format: one `key = value` per line, `#` comments.  Keys:
+//   name, sockets, cores_per_socket, ghz, sys_bw_gbs, peak_dp_gflops,
+//   remote_penalty
+//   cache   = <name> <size_bytes> <shared_by_cores> <line> <assoc> <bw_gbs>
+//             (repeatable; order L1 first, last entry = last-level cache)
+//   scaling = <cores>:<factor> [<cores>:<factor> ...]
+//
+// Example:
+//   name = EPYC 7551 2S
+//   sockets = 2
+//   cores_per_socket = 32
+//   ghz = 2.0
+//   cache = L1 32768 1 64 8 2000
+//   cache = L2 524288 1 64 8 1200
+//   cache = L3 67108864 8 64 16 900
+//   sys_bw_gbs = 290
+//   peak_dp_gflops = 1024
+//   scaling = 1:1 2:1.9 8:6.5 32:18 64:29
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topology/machine.hpp"
+
+namespace nustencil::topology {
+
+/// Parses a machine description; throws Error with a line-numbered message
+/// on malformed input or missing required keys.
+MachineSpec parse_machine(std::istream& in, const std::string& origin = "<stream>");
+
+/// Loads a machine description from `path`.
+MachineSpec load_machine(const std::string& path);
+
+}  // namespace nustencil::topology

@@ -1,0 +1,93 @@
+// Command-line argument parser.
+#include <gtest/gtest.h>
+
+#include "common/args.hpp"
+
+namespace nustencil {
+namespace {
+
+ArgParser make() {
+  ArgParser p("prog", "test program");
+  p.add_option("name", "a string", "dflt");
+  p.add_option("count", "an int", "7");
+  p.add_flag("verbose", "a flag");
+  return p;
+}
+
+bool parse(ArgParser& p, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return p.parse(static_cast<int>(argv.size()),
+                 const_cast<char**>(argv.data()));
+}
+
+TEST(ArgParser, DefaultsApply) {
+  ArgParser p = make();
+  EXPECT_TRUE(parse(p, {}));
+  EXPECT_EQ(p.get("name"), "dflt");
+  EXPECT_EQ(p.get_long("count"), 7);
+  EXPECT_FALSE(p.get_flag("verbose"));
+}
+
+TEST(ArgParser, SpaceAndEqualsForms) {
+  ArgParser p = make();
+  EXPECT_TRUE(parse(p, {"--name", "abc", "--count=42", "--verbose"}));
+  EXPECT_EQ(p.get("name"), "abc");
+  EXPECT_EQ(p.get_long("count"), 42);
+  EXPECT_TRUE(p.get_flag("verbose"));
+}
+
+TEST(ArgParser, Positionals) {
+  ArgParser p = make();
+  EXPECT_TRUE(parse(p, {"one", "--count", "3", "two"}));
+  EXPECT_EQ(p.positionals().size(), 2u);
+  EXPECT_EQ(p.positionals()[0], "one");
+  EXPECT_EQ(p.positionals()[1], "two");
+}
+
+TEST(ArgParser, UnknownOptionThrows) {
+  ArgParser p = make();
+  EXPECT_THROW(parse(p, {"--typo"}), Error);
+}
+
+TEST(ArgParser, MissingValueThrows) {
+  ArgParser p = make();
+  EXPECT_THROW(parse(p, {"--name"}), Error);
+}
+
+TEST(ArgParser, FlagWithValueThrows) {
+  ArgParser p = make();
+  EXPECT_THROW(parse(p, {"--verbose=yes"}), Error);
+}
+
+TEST(ArgParser, NonNumericValueThrows) {
+  ArgParser p = make();
+  ASSERT_TRUE(parse(p, {"--count", "abc"}));
+  EXPECT_THROW(p.get_long("count"), Error);
+}
+
+TEST(ArgParser, HelpShortCircuits) {
+  ArgParser p = make();
+  testing::internal::CaptureStdout();
+  EXPECT_FALSE(parse(p, {"--help"}));
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("--name"), std::string::npos);
+  EXPECT_NE(out.find("a string"), std::string::npos);
+  EXPECT_NE(out.find("[default: 7]"), std::string::npos);
+}
+
+TEST(ArgParser, DuplicateRegistrationThrows) {
+  ArgParser p("prog", "x");
+  p.add_option("a", "h", "");
+  EXPECT_THROW(p.add_option("a", "h", ""), Error);
+  EXPECT_THROW(p.add_flag("a", "h"), Error);
+}
+
+TEST(ArgParser, GetDouble) {
+  ArgParser p("prog", "x");
+  p.add_option("ratio", "a double", "0.5");
+  EXPECT_TRUE(parse(p, {"--ratio", "2.25"}));
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 2.25);
+}
+
+}  // namespace
+}  // namespace nustencil

@@ -1,0 +1,141 @@
+// Set-associative LRU cache simulator and multi-level hierarchy.
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "topology/machine.hpp"
+
+namespace nustencil::cachesim {
+namespace {
+
+TEST(Cache, HitAfterFill) {
+  Cache c(1024, 64, 2);
+  EXPECT_FALSE(c.access(0, false));
+  EXPECT_TRUE(c.access(0, false));
+  EXPECT_TRUE(c.access(63, false));   // same line
+  EXPECT_FALSE(c.access(64, false));  // next line
+  EXPECT_EQ(c.counters().hits, 2u);
+  EXPECT_EQ(c.counters().misses, 2u);
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  // 2-way, 8 sets of 64B lines: addresses 0, 512, 1024 map to set 0.
+  Cache c(1024, 64, 2);
+  EXPECT_EQ(c.sets(), 8);
+  c.access(0, false);
+  c.access(512, false);
+  c.access(0, false);      // refresh line 0
+  c.access(1024, false);   // evicts 512 (LRU), not 0
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(512));
+  EXPECT_TRUE(c.contains(1024));
+}
+
+TEST(Cache, DirtyEvictionCountsWriteback) {
+  Cache c(128, 64, 1);  // direct-mapped, 2 sets
+  c.access(0, true);    // dirty line in set 0
+  bool dirty = false;
+  Addr victim = 0;
+  c.access(128, false, &dirty, &victim);  // same set, evicts line 0
+  EXPECT_TRUE(dirty);
+  EXPECT_EQ(victim, 0u);
+  EXPECT_EQ(c.counters().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionNoWriteback) {
+  Cache c(128, 64, 1);
+  c.access(0, false);
+  c.access(128, false);
+  EXPECT_EQ(c.counters().writebacks, 0u);
+}
+
+TEST(Cache, FullyAssociative) {
+  Cache c(256, 64, 0);
+  EXPECT_EQ(c.ways(), 4);
+  EXPECT_EQ(c.sets(), 1);
+  for (Addr a = 0; a < 4; ++a) c.access(a * 1024, false);
+  for (Addr a = 0; a < 4; ++a) EXPECT_TRUE(c.contains(a * 1024));
+  c.access(5 * 1024, false);  // evicts the LRU (addr 0)
+  EXPECT_FALSE(c.contains(0));
+}
+
+TEST(Cache, FlushWritesBackDirtyLines) {
+  Cache c(256, 64, 0);
+  c.access(0, true);
+  c.access(64, false);
+  c.flush();
+  EXPECT_EQ(c.counters().writebacks, 1u);
+  EXPECT_FALSE(c.contains(0));
+}
+
+TEST(Cache, WorkingSetLargerThanCacheStreams) {
+  Cache c(4096, 64, 4);
+  // Two sweeps over 4x the capacity: all misses (LRU streams through).
+  for (int pass = 0; pass < 2; ++pass)
+    for (Addr a = 0; a < 16384; a += 64) c.access(a, false);
+  EXPECT_EQ(c.counters().hits, 0u);
+}
+
+TEST(Cache, WorkingSetFitsAllHitsSecondPass) {
+  Cache c(4096, 64, 0);
+  for (Addr a = 0; a < 4096; a += 64) c.access(a, false);
+  c.reset_counters();
+  for (Addr a = 0; a < 4096; a += 64) c.access(a, false);
+  EXPECT_EQ(c.counters().misses, 0u);
+}
+
+TEST(Cache, InvalidGeometryThrows) {
+  EXPECT_THROW(Cache(100, 64, 1), Error);  // size not multiple of line
+  EXPECT_THROW(Cache(128, 48, 1), Error);  // line not a power of two
+}
+
+TEST(Hierarchy, L1HitDoesNotTouchMemory) {
+  const auto machine = topology::xeonX7550();
+  Hierarchy h(machine, 1);
+  h.access(0, 0, 64, false);
+  h.access(0, 0, 64, false);
+  const auto t = h.traffic();
+  EXPECT_EQ(t.memory_reads, 1u);
+  EXPECT_EQ(t.level[0].hits, 1u);
+}
+
+TEST(Hierarchy, SharedL3AcrossCores) {
+  const auto machine = topology::xeonX7550();
+  Hierarchy h(machine, 8);  // one socket: shared L3
+  h.access(0, 0, 64, false);   // core 0 fills L1(0), L2(0), L3(socket)
+  h.access(7, 0, 64, false);   // core 7 misses L1/L2, hits the shared L3
+  const auto t = h.traffic();
+  EXPECT_EQ(t.memory_reads, 1u);
+  EXPECT_EQ(t.level[2].hits, 1u);
+}
+
+TEST(Hierarchy, PrivateCachesDoNotShare) {
+  const auto machine = topology::opteron8222();  // private L1+L2 only
+  Hierarchy h(machine, 2);
+  h.access(0, 0, 64, false);
+  h.access(1, 0, 64, false);  // different core: full miss path
+  EXPECT_EQ(h.traffic().memory_reads, 2u);
+}
+
+TEST(Hierarchy, MultiLineAccessCountsEachLine) {
+  const auto machine = topology::xeonX7550();
+  Hierarchy h(machine, 1);
+  h.access(0, 0, 256, false);  // 4 lines
+  EXPECT_EQ(h.traffic().memory_reads, 4u);
+}
+
+TEST(Hierarchy, StencilSweepTrafficMatchesAnalyticBounds) {
+  // A small 2-pass Jacobi-like sweep: first pass compulsory misses, second
+  // pass all from cache when the domain fits the hierarchy.
+  const auto machine = topology::xeonX7550();
+  Hierarchy h(machine, 1);
+  const Index n = 64;  // 64 lines = 4 KiB, fits L1
+  for (int pass = 0; pass < 2; ++pass)
+    for (Index i = 0; i < n; ++i) h.access(0, static_cast<Addr>(i) * 64, 64, pass == 1);
+  const auto t = h.traffic();
+  EXPECT_EQ(t.memory_reads, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(t.level[0].hits, static_cast<std::uint64_t>(n));
+}
+
+}  // namespace
+}  // namespace nustencil::cachesim

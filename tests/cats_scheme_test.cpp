@@ -1,0 +1,161 @@
+// CATS / nuCATS correctness: wavefront pipeline vs the reference, with
+// dependency checking, banded coefficients, high orders, and multi-chunk
+// (timesteps exceeding the wavefront depth) configurations.
+#include <gtest/gtest.h>
+
+#include "schemes/cats.hpp"
+#include "schemes/cats_common.hpp"
+#include "schemes/nucats.hpp"
+#include "test_util.hpp"
+
+namespace nustencil {
+namespace {
+
+using schemes::CatsScheme;
+using schemes::NuCatsScheme;
+using schemes::RunConfig;
+
+RunConfig cats_config(int threads, long steps) {
+  RunConfig cfg;
+  cfg.num_threads = threads;
+  cfg.timesteps = steps;
+  cfg.boundary[2] = core::BoundaryKind::Dirichlet;  // wavefront dimension
+  return cfg;
+}
+
+TEST(CatsScheme, SingleThread) {
+  CatsScheme scheme;
+  test::expect_matches_reference(scheme, Coord{16, 12, 14}, core::StencilSpec::paper_3d7p(),
+                                 cats_config(1, 5));
+}
+
+TEST(CatsScheme, MultiThread) {
+  CatsScheme scheme;
+  test::expect_matches_reference(scheme, Coord{20, 18, 16}, core::StencilSpec::paper_3d7p(),
+                                 cats_config(4, 6));
+}
+
+TEST(CatsScheme, DependencyOrder) {
+  CatsScheme scheme;
+  auto cfg = cats_config(4, 5);
+  cfg.check_dependencies = true;
+  test::expect_matches_reference(scheme, Coord{14, 12, 12}, core::StencilSpec::paper_3d7p(), cfg);
+}
+
+TEST(NuCatsScheme, SingleThread) {
+  NuCatsScheme scheme;
+  test::expect_matches_reference(scheme, Coord{16, 12, 14}, core::StencilSpec::paper_3d7p(),
+                                 cats_config(1, 5));
+}
+
+TEST(NuCatsScheme, MultiThread) {
+  NuCatsScheme scheme;
+  test::expect_matches_reference(scheme, Coord{20, 18, 16}, core::StencilSpec::paper_3d7p(),
+                                 cats_config(4, 6));
+}
+
+TEST(NuCatsScheme, DependencyOrder) {
+  NuCatsScheme scheme;
+  auto cfg = cats_config(4, 5);
+  cfg.check_dependencies = true;
+  test::expect_matches_reference(scheme, Coord{14, 12, 12}, core::StencilSpec::paper_3d7p(), cfg);
+}
+
+TEST(NuCatsScheme, Banded) {
+  NuCatsScheme scheme;
+  auto cfg = cats_config(2, 4);
+  cfg.check_dependencies = true;
+  test::expect_matches_reference(scheme, Coord{12, 10, 12}, core::StencilSpec::banded_star(3, 1),
+                                 cfg);
+}
+
+TEST(NuCatsScheme, HighOrder) {
+  NuCatsScheme scheme;
+  auto cfg = cats_config(2, 3);
+  cfg.check_dependencies = true;
+  test::expect_matches_reference(scheme, Coord{16, 14, 16}, core::StencilSpec::stable_star(3, 2),
+                                 cfg);
+}
+
+TEST(NuCatsScheme, HighOrderWithSplitTraversalDimension) {
+  // Regression: with z_segments == 2 and order s >= 2, the upper segment
+  // reads the lower segment's planes at positions up to p-s-1; the
+  // original wait only covered p-2s (found by tests/fuzz_test.cpp).
+  NuCatsScheme scheme;
+  auto cfg = cats_config(4, 8);
+  cfg.check_dependencies = true;
+  test::expect_matches_reference(scheme, Coord{11, 10, 23},
+                                 core::StencilSpec::stable_star(3, 2), cfg);
+}
+
+TEST(NuCatsScheme, ManyThreadsSmallDomain) {
+  NuCatsScheme scheme;
+  auto cfg = cats_config(8, 4);
+  cfg.check_dependencies = true;
+  test::expect_matches_reference(scheme, Coord{12, 16, 12}, core::StencilSpec::paper_3d7p(), cfg);
+}
+
+TEST(NuCatsScheme, DirichletEverywhere) {
+  NuCatsScheme scheme;
+  auto cfg = cats_config(3, 4);
+  cfg.boundary = core::Boundary::dirichlet();
+  test::expect_matches_reference(scheme, Coord{14, 13, 12}, core::StencilSpec::paper_3d7p(), cfg);
+}
+
+TEST(NuCatsScheme, InstrumentedLocality) {
+  NuCatsScheme scheme;
+  auto cfg = cats_config(8, 4);
+  cfg.instrument = true;
+  core::Problem problem(Coord{32, 32, 32}, core::StencilSpec::paper_3d7p());
+  const auto result = scheme.run(problem, cfg);
+  EXPECT_GT(result.traffic.locality(), 0.6)
+      << "nuCATS assigns tiles to their owning threads; most traffic is local";
+}
+
+TEST(CatsScheme, InstrumentedLocalityIsPoor) {
+  CatsScheme scheme;
+  auto cfg = cats_config(8, 4);
+  cfg.instrument = true;
+  core::Problem problem(Coord{32, 32, 32}, core::StencilSpec::paper_3d7p());
+  const auto result = scheme.run(problem, cfg);
+  // Serial first touch puts every page on node 0; with 8 threads the Xeon
+  // topology spans 1 socket only... use more: locality == fraction on own
+  // node. With 8 threads all on socket 0 everything is "local" — so this
+  // assertion uses 16 threads instead.
+  (void)result;
+  auto cfg16 = cats_config(16, 4);
+  cfg16.instrument = true;
+  core::Problem p16(Coord{32, 32, 32}, core::StencilSpec::paper_3d7p());
+  const auto r16 = scheme.run(p16, cfg16);
+  EXPECT_LT(r16.traffic.locality(), 0.7)
+      << "CATS serial init places all pages on node 0";
+}
+
+TEST(CatsPlan, TileCountDividesThreadsForNuCats) {
+  const auto machine = topology::xeonX7550();
+  core::Box box;
+  box.lo = Coord{0, 0, 1};
+  box.hi = Coord{160, 160, 159};
+  const auto st = core::StencilSpec::paper_3d7p();
+  for (int threads : {1, 2, 4, 8, 16, 32}) {
+    const auto plan = schemes::plan_cats(box, st, machine, threads, 100, true);
+    EXPECT_TRUE(plan.num_tiles() % threads == 0 || plan.num_tiles() == threads)
+        << "threads=" << threads << " tiles=" << plan.num_tiles();
+  }
+}
+
+TEST(CatsPlan, ChunkShrinksForBanded) {
+  const auto machine = topology::opteron8222();
+  core::Box box;
+  box.lo = Coord{0, 0, 1};
+  box.hi = Coord{200, 200, 199};
+  const auto constant = schemes::plan_cats(box, core::StencilSpec::paper_3d7p(), machine, 16,
+                                           100, true);
+  const auto banded = schemes::plan_cats(box, core::StencilSpec::banded_star(3, 1), machine, 16,
+                                         100, true);
+  EXPECT_LE(banded.chunk * banded.wy, constant.chunk * constant.wy)
+      << "coefficient bands enlarge the wavefront working set";
+}
+
+}  // namespace
+}  // namespace nustencil

@@ -1,0 +1,92 @@
+// Spatial domain decomposition (paper Section III-D).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "schemes/decompose.hpp"
+
+namespace nustencil::schemes {
+namespace {
+
+TEST(DecomposeCounts, NeverCutsUnitStride) {
+  for (int n : {1, 2, 3, 4, 6, 8, 12, 16, 32}) {
+    const Coord counts = decompose_counts(Coord{64, 64, 64}, n);
+    EXPECT_EQ(counts[0], 1) << n;
+    EXPECT_EQ(counts.product(), n);
+  }
+}
+
+TEST(DecomposeCounts, PaperExamples) {
+  // Section III-D: m = 4D space-time (3 spatial dims), n = 4: two
+  // dimensions subdivided into 2 each; n = 8: highest stride into 4.
+  const Coord four = decompose_counts(Coord{64, 64, 64}, 4);
+  EXPECT_EQ(four[1], 2);
+  EXPECT_EQ(four[2], 2);
+  const Coord eight = decompose_counts(Coord{64, 64, 64}, 8);
+  EXPECT_EQ(eight[2], 4) << "ties favour the higher stride";
+  EXPECT_EQ(eight[1], 2);
+}
+
+TEST(DecomposeCounts, PrimeThreadCounts) {
+  const Coord counts = decompose_counts(Coord{64, 64, 64}, 7);
+  EXPECT_EQ(counts.product(), 7);
+  EXPECT_EQ(counts[0], 1);
+}
+
+TEST(DecomposeCounts, OneAndTwoDimensional) {
+  EXPECT_EQ(decompose_counts(Coord{64}, 4)[0], 4);  // 1D has no choice
+  const Coord two = decompose_counts(Coord{64, 64}, 6);
+  EXPECT_EQ(two[0], 1);
+  EXPECT_EQ(two[1], 6);
+}
+
+TEST(DecomposeDomain, TilesPartitionExactly) {
+  core::Box domain;
+  domain.lo = Coord{0, 0, 0};
+  domain.hi = Coord{17, 13, 11};  // primes: uneven tiles
+  const Coord counts = decompose_counts(domain.hi, 6);
+  const auto tiles = decompose_domain(domain, counts);
+  ASSERT_EQ(tiles.size(), 6u);
+  Index covered = 0;
+  for (const auto& t : tiles) {
+    EXPECT_FALSE(t.empty());
+    covered += t.volume();
+  }
+  EXPECT_EQ(covered, domain.volume());
+  // Disjointness via corner membership.
+  std::set<std::tuple<Index, Index, Index>> seen;
+  for (const auto& t : tiles)
+    for (Index z = t.lo[2]; z < t.hi[2]; ++z)
+      for (Index y = t.lo[1]; y < t.hi[1]; ++y)
+        EXPECT_TRUE(seen.insert({t.lo[0], y, z}).second);
+}
+
+TEST(DecomposeDomain, TileSizesBalanced) {
+  core::Box domain;
+  domain.lo = Coord{0, 0, 0};
+  domain.hi = Coord{64, 100, 100};
+  const auto tiles = decompose_domain(domain, decompose_counts(domain.hi, 8));
+  Index lo = tiles[0].volume(), hi = tiles[0].volume();
+  for (const auto& t : tiles) {
+    lo = std::min(lo, t.volume());
+    hi = std::max(hi, t.volume());
+  }
+  EXPECT_LE(hi - lo, hi / 4) << "tiles should be within ~25% of each other";
+}
+
+TEST(TileCoord, RoundTripsWithTileIndex) {
+  const Coord counts = decompose_counts(Coord{64, 64, 64}, 12);
+  for (int i = 0; i < 12; ++i)
+    EXPECT_EQ(tile_index(counts, tile_coord(counts, i)), i);
+}
+
+TEST(DecomposeDomain, MoreTilesThanElementsThrows) {
+  core::Box domain;
+  domain.lo = Coord{0, 0, 0};
+  domain.hi = Coord{8, 2, 2};
+  Coord counts = Coord{1, 1, 4};
+  EXPECT_THROW(decompose_domain(domain, counts), Error);
+}
+
+}  // namespace
+}  // namespace nustencil::schemes

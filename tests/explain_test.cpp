@@ -1,0 +1,76 @@
+// Plan descriptions (--explain) and pinning policies.
+#include <gtest/gtest.h>
+
+#include "numa/traffic.hpp"
+#include "schemes/explain.hpp"
+#include "schemes/scheme.hpp"
+
+namespace nustencil {
+namespace {
+
+const topology::MachineSpec kXeon = topology::xeonX7550();
+
+TEST(Explain, DescribesEveryScheme) {
+  for (const std::string name :
+       {"NaiveSSE", "CATS", "nuCATS", "CORALS", "nuCORALS", "Pochoir", "PLuTo"}) {
+    const std::string text = schemes::describe_plan(
+        name, Coord{160, 160, 160}, core::StencilSpec::paper_3d7p(), kXeon, 32, 100);
+    EXPECT_NE(text.find(name), std::string::npos);
+    EXPECT_GT(text.size(), 100u) << name;
+  }
+  EXPECT_THROW(schemes::describe_plan("nope", Coord{16, 16, 16},
+                                      core::StencilSpec::paper_3d7p(), kXeon, 1, 1),
+               Error);
+}
+
+TEST(Explain, NuCoralsPlanMatchesPaperFormulas) {
+  const std::string text = schemes::describe_plan(
+      "nuCORALS", Coord{500, 500, 500}, core::StencilSpec::paper_3d7p(), kXeon, 32, 100);
+  EXPECT_NE(text.find("tau        : 31"), std::string::npos)
+      << "b = 500/8 = 62, tau = b/2 = 31\n" << text;
+  EXPECT_NE(text.find("[1,4,8]"), std::string::npos) << text;
+  EXPECT_NE(text.find("~75%"), std::string::npos) << text;
+}
+
+TEST(Explain, NuCatsWavefrontFitsCache) {
+  const std::string text = schemes::describe_plan(
+      "nuCATS", Coord{160, 160, 160}, core::StencilSpec::paper_3d7p(), kXeon, 32, 100);
+  EXPECT_NE(text.find("temporal chunk Tc       : 100"), std::string::npos) << text;
+  EXPECT_NE(text.find("owner-matched"), std::string::npos);
+  const std::string cats = schemes::describe_plan(
+      "CATS", Coord{160, 160, 160}, core::StencilSpec::paper_3d7p(), kXeon, 32, 100);
+  EXPECT_NE(cats.find("round-robin"), std::string::npos);
+}
+
+TEST(PinPolicy, CompactFillsSocketsFirst) {
+  numa::VirtualTopology compact(kXeon, numa::PinPolicy::Compact);
+  EXPECT_EQ(compact.node_of_thread(0), 0);
+  EXPECT_EQ(compact.node_of_thread(7), 0);
+  EXPECT_EQ(compact.node_of_thread(8), 1);
+}
+
+TEST(PinPolicy, ScatterRoundRobinsAcrossSockets) {
+  numa::VirtualTopology scatter(kXeon, numa::PinPolicy::Scatter);
+  EXPECT_EQ(scatter.node_of_thread(0), 0);
+  EXPECT_EQ(scatter.node_of_thread(1), 1);
+  EXPECT_EQ(scatter.node_of_thread(3), 3);
+  EXPECT_EQ(scatter.node_of_thread(4), 0);
+}
+
+TEST(PinPolicy, ScatterEngagesAllNodesAtLowThreadCounts) {
+  schemes::RunConfig cfg;
+  cfg.num_threads = 4;
+  cfg.timesteps = 4;
+  cfg.instrument = true;
+  cfg.pin_policy = numa::PinPolicy::Scatter;
+  cfg.page_bytes = 256;  // avoid page-granularity artifacts on the tiny domain
+  core::Problem problem(Coord{24, 24, 24}, core::StencilSpec::paper_3d7p());
+  const auto run = schemes::make_scheme("NaiveSSE")->run(problem, cfg);
+  int active = 0;
+  for (auto b : run.traffic.bytes_from_node)
+    if (b > 0) ++active;
+  EXPECT_EQ(active, 4) << "scatter must put demand on every Xeon node";
+}
+
+}  // namespace
+}  // namespace nustencil

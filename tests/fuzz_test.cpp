@@ -1,0 +1,125 @@
+// Seeded randomised sweep: random shapes, orders, thread counts, step
+// counts and schemes, every run dependency-checked and compared against
+// the reference.  Catches interaction bugs the hand-picked configurations
+// miss; the seed is fixed so failures reproduce.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iostream>
+#include <random>
+
+#include "schemes/naive.hpp"
+#include "schemes/scheme.hpp"
+#include "test_util.hpp"
+
+namespace nustencil {
+namespace {
+
+TEST(Fuzz, RandomConfigurationsMatchReference) {
+  std::mt19937 rng(20120521);  // the paper's conference date
+  const auto& names = schemes::scheme_names();
+
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::string name = names[rng() % names.size()];
+    const int order = name == "nuCORALS" || name == "NaiveSSE"
+                          ? 1 + static_cast<int>(rng() % 3)
+                          : 1 + static_cast<int>(rng() % 2);
+    std::uniform_int_distribution<Index> extent(4 * order + 1, 26);
+    Coord shape{extent(rng), extent(rng), extent(rng)};
+    schemes::RunConfig cfg;
+    cfg.num_threads = 1 + static_cast<int>(rng() % 6);
+    cfg.timesteps = 1 + static_cast<long>(rng() % 9);
+    cfg.check_dependencies = true;
+    cfg.seed = static_cast<unsigned>(rng());
+    if (name == "CATS" || name == "nuCATS")
+      cfg.boundary[2] = core::BoundaryKind::Dirichlet;
+    if (name == "PLuTo" || name == "CORALS" || name == "nuCORALS") {
+      // Respect the documented preconditions: decomposed tiles must be at
+      // least 2s wide (conservatively assume one dimension takes all the
+      // cuts).
+      const Index min_decomposed = std::min(shape[1], shape[2]);
+      cfg.num_threads = std::max(
+          1, std::min<int>(cfg.num_threads,
+                           static_cast<int>(min_decomposed / (2 * order))));
+    }
+
+    const bool banded = order == 1 && rng() % 4 == 0;
+    const core::StencilSpec st = banded ? core::StencilSpec::banded_star(3, order)
+                                        : core::StencilSpec::stable_star(3, order);
+    SCOPED_TRACE(name + " " + std::to_string(shape[0]) + "x" +
+                 std::to_string(shape[1]) + "x" + std::to_string(shape[2]) + " s=" +
+                 std::to_string(order) + " n=" + std::to_string(cfg.num_threads) +
+                 " T=" + std::to_string(cfg.timesteps) +
+                 (banded ? " banded" : "") + " trial=" + std::to_string(trial));
+    const auto scheme = schemes::make_scheme(name);
+    test::expect_matches_reference(*scheme, shape, st, cfg);
+  }
+}
+
+TEST(Fuzz, RandomBoxSplitsEqualWholeSweep) {
+  // Partition the domain into random disjoint boxes; updating them in any
+  // order must equal the whole-domain sweep (Jacobi order-independence).
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Coord shape{12, 10, 8};
+    core::Problem whole(shape, core::StencilSpec::paper_3d7p());
+    core::Problem parts(shape, core::StencilSpec::paper_3d7p());
+    whole.initialize();
+    parts.initialize();
+    core::Executor we(whole), pe(parts);
+    core::Box domain;
+    domain.lo = Coord{0, 0, 0};
+    domain.hi = shape;
+    we.update_box(domain, 0, 0);
+
+    // Random y/z split points.
+    const Index ysplit = 1 + static_cast<Index>(rng() % 9);
+    const Index zsplit = 1 + static_cast<Index>(rng() % 7);
+    std::vector<core::Box> boxes;
+    for (const auto& [ylo, yhi] : {std::pair<Index, Index>{0, ysplit},
+                                   std::pair<Index, Index>{ysplit, 10}})
+      for (const auto& [zlo, zhi] : {std::pair<Index, Index>{0, zsplit},
+                                     std::pair<Index, Index>{zsplit, 8}}) {
+        core::Box b;
+        b.lo = Coord{0, ylo, zlo};
+        b.hi = Coord{12, yhi, zhi};
+        boxes.push_back(b);
+      }
+    std::shuffle(boxes.begin(), boxes.end(), rng);
+    for (const auto& b : boxes) pe.update_box(b, 0, 0);
+    EXPECT_DOUBLE_EQ(core::max_rel_diff(whole.buffer(1), parts.buffer(1)), 0.0);
+  }
+}
+
+TEST(Fuzz, RunSupportRejectsBadConfigs) {
+  const auto scheme = schemes::make_scheme("NaiveSSE");
+  core::Problem p(Coord{8, 8, 8}, core::StencilSpec::paper_3d7p());
+  schemes::RunConfig cfg;
+  cfg.num_threads = 0;
+  EXPECT_THROW(scheme->run(p, cfg), Error);
+  cfg.num_threads = 1;
+  cfg.timesteps = 0;
+  EXPECT_THROW(scheme->run(p, cfg), Error);
+  cfg.timesteps = 1;
+  cfg.instrument = true;  // 33 threads exceed the default Xeon topology
+  cfg.num_threads = 33;
+  EXPECT_THROW(scheme->run(p, cfg), Error);
+}
+
+TEST(Fuzz, MixedBoundariesPerDimension) {
+  // Periodic x/y with Dirichlet z (the CATS configuration) on the naive
+  // scheme, which supports any mix — cross-checked via the test helper.
+  schemes::NaiveScheme direct;
+  for (const auto bc : {core::BoundaryKind::Periodic, core::BoundaryKind::Dirichlet}) {
+    schemes::RunConfig cfg;
+    cfg.num_threads = 3;
+    cfg.timesteps = 4;
+    cfg.boundary[1] = bc;
+    cfg.boundary[2] = core::BoundaryKind::Dirichlet;
+    test::expect_matches_reference(direct, Coord{10, 9, 11},
+                                   core::StencilSpec::paper_3d7p(), cfg);
+  }
+}
+
+}  // namespace
+}  // namespace nustencil

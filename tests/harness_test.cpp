@@ -1,0 +1,121 @@
+// Figure harness: spec catalogue sanity and an end-to-end smoke run that
+// asserts the paper's qualitative results (who wins, where the cliffs
+// are) rather than absolute numbers.
+#include <gtest/gtest.h>
+
+#include "harness/specs.hpp"
+
+namespace nustencil::harness {
+namespace {
+
+FigureOptions tiny_options() {
+  FigureOptions opt;
+  opt.sim_domain = 24;
+  opt.sim_steps = 4;
+  return opt;
+}
+
+TEST(Specs, CatalogueIsComplete) {
+  for (const auto& make :
+       {fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14,
+        fig15, fig20, fig21, fig22}) {
+    const FigureSpec s = make();
+    EXPECT_FALSE(s.id.empty());
+    EXPECT_FALSE(s.series.empty());
+    EXPECT_FALSE(s.cores.empty());
+    EXPECT_FALSE(s.paper_gflops_at_max.empty());
+    EXPECT_EQ(s.cores.back(), s.machine.cores());
+  }
+  for (const auto& make : {fig16, fig17, fig18, fig19}) {
+    const HighOrderSpec s = make();
+    EXPECT_EQ(s.paper_gflops_at_max.size(), 6u);  // 2 schemes x 3 orders
+  }
+}
+
+TEST(Specs, WeakAndStrongConfiguredAsInPaper) {
+  EXPECT_TRUE(fig04().weak);
+  EXPECT_EQ(fig04().domain, 200);
+  EXPECT_FALSE(fig06().weak);
+  EXPECT_EQ(fig06().domain, 160);
+  EXPECT_EQ(fig08().domain, 500);
+  EXPECT_TRUE(fig10().banded);
+  EXPECT_FALSE(fig04().banded);
+  EXPECT_EQ(fig20().series.size(), 7u);  // all schemes compared
+}
+
+TEST(Harness, Figure22ShapeHolds) {
+  // Strong scaling 160^3 on the Xeon, the paper's starkest NUMA result:
+  // at 32 cores every NUMA-aware scheme (and even the naive one) must beat
+  // every NUMA-ignorant temporal blocking scheme.
+  FigureSpec spec = fig22();
+  spec.cores = {8, 32};
+  const FigureResult r = run_figure(spec, tiny_options());
+  const auto at32 = [&](const std::string& s) { return r.values.at(s).back(); };
+  for (const std::string blind : {"CATS", "CORALS", "Pochoir", "PLuTo"}) {
+    EXPECT_GT(at32("nuCORALS"), at32(blind)) << blind;
+    EXPECT_GT(at32("nuCATS"), at32(blind)) << blind;
+    EXPECT_GT(at32("NaiveSSE"), at32(blind))
+        << "the NUMA-aware naive scheme must beat NUMA-ignorant " << blind;
+  }
+}
+
+TEST(Harness, NumaAwareSchemesKeepPerCorePerformance) {
+  // Fig. 20: from 8 cores (1 socket) to 32 cores (4 sockets) the per-core
+  // performance of nuCATS/nuCORALS stays high while CORALS collapses.
+  FigureSpec spec = fig20();
+  spec.cores = {8, 32};
+  const FigureResult r = run_figure(spec, tiny_options());
+  const auto drop = [&](const std::string& s) {
+    return r.values.at(s).front() / r.values.at(s).back();
+  };
+  EXPECT_LT(drop("nuCATS"), 2.0);
+  EXPECT_LT(drop("nuCORALS"), 2.0);
+  EXPECT_GT(drop("CORALS"), drop("nuCORALS"));
+}
+
+TEST(Harness, ConstantFigureReferenceLinesOrdered) {
+  FigureSpec spec = fig07();
+  spec.cores = {1, 32};
+  const FigureResult r = run_figure(spec, tiny_options());
+  for (std::size_t i = 0; i < r.cores.size(); ++i) {
+    EXPECT_GT(r.values.at("PeakDP")[i], r.values.at("LL1B0C")[i]);
+    EXPECT_GT(r.values.at("SysBIC")[i], r.values.at("SysB0C")[i]);
+    // NaiveSSE between the two system-bandwidth bounds (Section IV-D).
+    EXPECT_LE(r.values.at("NaiveSSE")[i], r.values.at("SysBIC")[i] * 1.05);
+    EXPECT_GE(r.values.at("NaiveSSE")[i], r.values.at("SysB0C")[i] * 0.95);
+  }
+}
+
+TEST(Harness, TemporalBlockingBeatsSysBandIC) {
+  // Being faster than SysBandIC means less than 2 doubles move per update
+  // — the signature of working temporal blocking (Section IV-D).
+  FigureSpec spec = fig07();
+  spec.cores = {32};
+  const FigureResult r = run_figure(spec, tiny_options());
+  EXPECT_GT(r.values.at("nuCORALS").back(), r.values.at("SysBIC").back());
+  EXPECT_GT(r.values.at("nuCATS").back(), r.values.at("SysBIC").back());
+}
+
+TEST(Harness, BandedFigureDropsHard) {
+  FigureSpec constant = fig09();
+  FigureSpec banded = fig15();
+  constant.cores = {16};
+  banded.cores = {16};
+  const auto rc = run_figure(constant, tiny_options());
+  const auto rb = run_figure(banded, tiny_options());
+  // Section IV-E: the banded case costs several x in Gupdates/s.
+  EXPECT_GT(rc.values.at("nuCATS").back(), 2.0 * rb.values.at("nuCATS").back());
+  EXPECT_GT(rc.values.at("nuCORALS").back(), 1.5 * rb.values.at("nuCORALS").back());
+}
+
+TEST(Harness, ParseOptions) {
+  const char* argv[] = {"bench", "--csv", "--domain", "32", "--steps", "5", "--full"};
+  const FigureOptions opt = parse_options(7, const_cast<char**>(argv));
+  EXPECT_TRUE(opt.csv);
+  EXPECT_FALSE(opt.quick);
+  EXPECT_EQ(opt.sim_domain, 32);
+  EXPECT_EQ(opt.sim_steps, 5);
+}
+
+}  // namespace
+}  // namespace nustencil::harness

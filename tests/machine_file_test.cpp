@@ -1,0 +1,101 @@
+// Machine description files: parsing, validation, errors.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "topology/machine_file.hpp"
+
+namespace nustencil::topology {
+namespace {
+
+const char* kValid = R"(
+# a two-socket example machine
+name = EPYC 2S
+sockets = 2
+cores_per_socket = 32
+ghz = 2.0
+cache = L1 32768 1 64 8 2000
+cache = L2 524288 1 64 8 1200
+cache = L3 67108864 8 64 16 900
+sys_bw_gbs = 290
+peak_dp_gflops = 1024
+remote_penalty = 1.8
+scaling = 1:1 2:1.9 8:6.5 32:18 64:29
+)";
+
+MachineSpec parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_machine(in, "test");
+}
+
+TEST(MachineFile, ParsesValidDescription) {
+  const MachineSpec m = parse(kValid);
+  EXPECT_EQ(m.name, "EPYC 2S");
+  EXPECT_EQ(m.cores(), 64);
+  EXPECT_EQ(m.numa_nodes(), 2);
+  EXPECT_EQ(m.caches.size(), 3u);
+  EXPECT_EQ(m.caches[2].shared_by_cores, 8);
+  EXPECT_DOUBLE_EQ(m.sys_bw_gbs, 290.0);
+  EXPECT_DOUBLE_EQ(m.remote_penalty, 1.8);
+  EXPECT_DOUBLE_EQ(m.sys_bw_scaling.factor(64), 29.0);
+  EXPECT_NEAR(m.sys_bw_at(64), 290.0, 1e-9);
+}
+
+TEST(MachineFile, CommentsAndBlankLinesIgnored) {
+  const MachineSpec m = parse(std::string(kValid) + "\n\n# trailing comment\n");
+  EXPECT_EQ(m.cores(), 64);
+}
+
+TEST(MachineFile, DefaultScalingWhenOmitted) {
+  std::string text = kValid;
+  text.erase(text.find("scaling"));
+  const MachineSpec m = parse(text);
+  EXPECT_FALSE(m.sys_bw_scaling.anchors.empty());
+  EXPECT_GT(m.sys_bw_scaling.factor(m.cores()), 1.0);
+}
+
+TEST(MachineFile, MissingRequiredKeysThrow) {
+  for (const std::string key : {"name", "cache", "sys_bw_gbs", "peak_dp_gflops"}) {
+    std::string text;
+    std::istringstream in(kValid);
+    std::string line;
+    while (std::getline(in, line))
+      if (line.find(key) != 0) text += line + "\n";
+    EXPECT_THROW(parse(text), Error) << key;
+  }
+}
+
+TEST(MachineFile, MalformedLinesThrowWithLineNumbers) {
+  try {
+    parse("name = x\nbogus line without equals\n");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("test:2"), std::string::npos);
+  }
+  EXPECT_THROW(parse(std::string(kValid) + "unknown_key = 3\n"), Error);
+  EXPECT_THROW(parse(std::string(kValid) + "cache = L4 only three args\n"), Error);
+  EXPECT_THROW(parse(std::string(kValid) + "scaling = nocolon\n"), Error);
+}
+
+TEST(MachineFile, NonMonotoneScalingThrows) {
+  std::string text = kValid;
+  text.replace(text.find("scaling = 1:1 2:1.9 8:6.5 32:18 64:29"),
+               std::string("scaling = 1:1 2:1.9 8:6.5 32:18 64:29").size(),
+               "scaling = 8:6.5 2:1.9");
+  EXPECT_THROW(parse(text), Error);
+}
+
+TEST(MachineFile, LoadMachineMissingFileThrows) {
+  EXPECT_THROW(load_machine("/no/such/machine.conf"), Error);
+}
+
+TEST(MachineFile, RoundTripsThroughTheModel) {
+  // A parsed machine must be directly usable by the perf model paths.
+  const MachineSpec m = parse(kValid);
+  EXPECT_GT(m.cache_bw_per_core(2), 0.0);
+  EXPECT_EQ(m.active_sockets(33), 2);
+  EXPECT_GT(m.node_controller_bw(), 0.0);
+}
+
+}  // namespace
+}  // namespace nustencil::topology

@@ -1,0 +1,120 @@
+// NaiveSSE correctness: reference agreement across dimensions, orders,
+// boundary conditions, thread counts; instrumentation sanity.
+#include <gtest/gtest.h>
+
+#include "schemes/naive.hpp"
+#include "test_util.hpp"
+
+namespace nustencil {
+namespace {
+
+using schemes::NaiveScheme;
+using schemes::RunConfig;
+
+TEST(NaiveScheme, SingleThread3D) {
+  NaiveScheme scheme;
+  RunConfig cfg;
+  cfg.timesteps = 5;
+  test::expect_matches_reference(scheme, Coord{16, 12, 10}, core::StencilSpec::paper_3d7p(), cfg);
+}
+
+TEST(NaiveScheme, MultiThread3D) {
+  NaiveScheme scheme;
+  RunConfig cfg;
+  cfg.num_threads = 4;
+  cfg.timesteps = 6;
+  test::expect_matches_reference(scheme, Coord{20, 15, 13}, core::StencilSpec::paper_3d7p(), cfg);
+}
+
+TEST(NaiveScheme, Dirichlet) {
+  NaiveScheme scheme;
+  RunConfig cfg;
+  cfg.num_threads = 3;
+  cfg.timesteps = 4;
+  cfg.boundary = core::Boundary::dirichlet();
+  test::expect_matches_reference(scheme, Coord{12, 11, 9}, core::StencilSpec::paper_3d7p(), cfg);
+}
+
+TEST(NaiveScheme, Banded) {
+  NaiveScheme scheme;
+  RunConfig cfg;
+  cfg.num_threads = 2;
+  cfg.timesteps = 4;
+  test::expect_matches_reference(scheme, Coord{14, 10, 8}, core::StencilSpec::banded_star(3, 1),
+                                 cfg);
+}
+
+TEST(NaiveScheme, HighOrder) {
+  NaiveScheme scheme;
+  RunConfig cfg;
+  cfg.num_threads = 2;
+  cfg.timesteps = 3;
+  test::expect_matches_reference(scheme, Coord{16, 14, 12}, core::StencilSpec::stable_star(3, 3),
+                                 cfg);
+}
+
+TEST(NaiveScheme, TwoDimensional) {
+  NaiveScheme scheme;
+  RunConfig cfg;
+  cfg.num_threads = 4;
+  cfg.timesteps = 7;
+  test::expect_matches_reference(scheme, Coord{32, 17}, core::StencilSpec::stable_star(2, 1), cfg);
+}
+
+TEST(NaiveScheme, OneDimensional) {
+  NaiveScheme scheme;
+  RunConfig cfg;
+  cfg.num_threads = 3;
+  cfg.timesteps = 5;
+  test::expect_matches_reference(scheme, Coord{64}, core::StencilSpec::stable_star(1, 2), cfg);
+}
+
+TEST(NaiveScheme, DependencyCheckerPasses) {
+  NaiveScheme scheme;
+  RunConfig cfg;
+  cfg.num_threads = 4;
+  cfg.timesteps = 4;
+  cfg.check_dependencies = true;
+  test::expect_matches_reference(scheme, Coord{12, 10, 8}, core::StencilSpec::paper_3d7p(), cfg);
+}
+
+TEST(NaiveScheme, InstrumentedLocalityIsHigh) {
+  NaiveScheme scheme;
+  RunConfig cfg;
+  cfg.num_threads = 8;
+  cfg.timesteps = 3;
+  cfg.instrument = true;
+  core::Problem problem(Coord{32, 32, 32}, core::StencilSpec::paper_3d7p());
+  const auto result = scheme.run(problem, cfg);
+  EXPECT_GT(result.updates, 0);
+  EXPECT_GT(result.traffic.total_bytes(), 0u);
+  // NUMA-aware first touch: the bulk of the traffic must be node-local
+  // (only tile-boundary halos are remote).
+  EXPECT_GT(result.traffic.locality(), 0.80);
+}
+
+TEST(NaiveScheme, UpdateCountMatchesVolumeTimesSteps) {
+  NaiveScheme scheme;
+  RunConfig cfg;
+  cfg.num_threads = 2;
+  cfg.timesteps = 5;
+  core::Problem problem(Coord{10, 10, 10}, core::StencilSpec::paper_3d7p());
+  const auto result = scheme.run(problem, cfg);
+  EXPECT_EQ(result.updates, 1000 * 5);
+}
+
+TEST(NaiveScheme, EstimateTrafficBounds) {
+  NaiveScheme scheme;
+  const auto machine = topology::xeonX7550();
+  const auto st = core::StencilSpec::paper_3d7p();
+  const auto small = scheme.estimate_traffic(machine, Coord{64, 64, 64}, st, 1, 100);
+  const auto large = scheme.estimate_traffic(machine, Coord{500, 500, 500}, st, 32, 100);
+  // Small per-thread slices cache well (towards 2 doubles/update); huge
+  // domains with many threads approach the zero-caching bound.
+  EXPECT_LT(small.mem_doubles_per_update, large.mem_doubles_per_update);
+  EXPECT_GE(small.mem_doubles_per_update, 2.0);
+  EXPECT_LE(large.mem_doubles_per_update, 8.0);
+}
+
+}  // namespace
+}  // namespace nustencil

@@ -1,0 +1,125 @@
+// First-touch page table, virtual topology and traffic accounting.
+#include <gtest/gtest.h>
+
+#include "numa/page_table.hpp"
+#include "numa/traffic.hpp"
+#include "topology/machine.hpp"
+
+namespace nustencil::numa {
+namespace {
+
+TEST(PageTable, FirstTouchAssignsOnlyOnce) {
+  PageTable pt(4096);
+  const RegionId r = pt.register_region("a", 4096 * 4);
+  EXPECT_EQ(pt.owner(r, 0), kUnowned);
+  pt.first_touch(r, 0, 4096, 1);
+  EXPECT_EQ(pt.owner(r, 0), 1);
+  pt.first_touch(r, 0, 4096, 2);  // second touch must not steal the page
+  EXPECT_EQ(pt.owner(r, 100), 1);
+}
+
+TEST(PageTable, RangeSpanningPages) {
+  PageTable pt(4096);
+  const RegionId r = pt.register_region("a", 4096 * 4);
+  pt.first_touch(r, 100, 4096 * 2 + 50, 3);  // pages 0, 1, 2
+  EXPECT_EQ(pt.owner(r, 0), 3);
+  EXPECT_EQ(pt.owner(r, 4096), 3);
+  EXPECT_EQ(pt.owner(r, 4096 * 2), 3);
+  EXPECT_EQ(pt.owner(r, 4096 * 3), kUnowned);
+}
+
+TEST(PageTable, PlaceOverridesOwnership) {
+  PageTable pt(4096);
+  const RegionId r = pt.register_region("a", 4096 * 2);
+  pt.first_touch(r, 0, 4096, 0);
+  pt.place(r, 0, 4096, 5);
+  EXPECT_EQ(pt.owner(r, 0), 5);
+}
+
+TEST(PageTable, CountBytesByNodeSplitsAtPageBoundary) {
+  PageTable pt(4096);
+  const RegionId r = pt.register_region("a", 4096 * 2);
+  pt.first_touch(r, 0, 4096, 0);
+  pt.first_touch(r, 4096, 8192, 1);
+  std::vector<std::uint64_t> by_node;
+  pt.count_bytes_by_node(r, 2048, 6144, 2, by_node);
+  EXPECT_EQ(by_node[0], 2048u);  // [2048, 4096) on node 0
+  EXPECT_EQ(by_node[1], 2048u);  // [4096, 6144) on node 1
+  EXPECT_EQ(by_node[2], 0u);     // no unowned bytes
+}
+
+TEST(PageTable, UnownedBytesCounted) {
+  PageTable pt(4096);
+  const RegionId r = pt.register_region("a", 4096);
+  std::vector<std::uint64_t> by_node;
+  pt.count_bytes_by_node(r, 0, 4096, 2, by_node);
+  EXPECT_EQ(by_node[2], 4096u);
+}
+
+TEST(PageTable, OwnedFraction) {
+  PageTable pt(4096);
+  const RegionId r = pt.register_region("a", 4096 * 4);
+  pt.first_touch(r, 0, 4096 * 3, 2);
+  EXPECT_DOUBLE_EQ(pt.owned_fraction(r, 2), 0.75);
+  EXPECT_DOUBLE_EQ(pt.owned_fraction(r, 0), 0.0);
+}
+
+TEST(PageTable, SmallPagesForScaledDomains) {
+  PageTable pt(256);
+  const RegionId r = pt.register_region("a", 1024);
+  pt.first_touch(r, 0, 256, 0);
+  pt.first_touch(r, 256, 1024, 1);
+  EXPECT_EQ(pt.owner(r, 255), 0);
+  EXPECT_EQ(pt.owner(r, 256), 1);
+}
+
+TEST(PageTable, OutOfRangeThrows) {
+  PageTable pt(4096);
+  const RegionId r = pt.register_region("a", 4096);
+  EXPECT_THROW(pt.first_touch(r, 0, 8192, 0), Error);
+  EXPECT_THROW(pt.owner(r, 4096), Error);
+  EXPECT_THROW(pt.owner(r + 1, 0), Error);
+}
+
+TEST(VirtualTopology, FillSocketFirst) {
+  const auto machine = topology::xeonX7550();
+  VirtualTopology topo(machine);
+  EXPECT_EQ(topo.node_of_thread(0), 0);
+  EXPECT_EQ(topo.node_of_thread(7), 0);
+  EXPECT_EQ(topo.node_of_thread(8), 1);
+  EXPECT_EQ(topo.num_nodes(), 4);
+}
+
+TEST(TrafficRecorder, ClassifiesLocalAndRemote) {
+  const auto machine = topology::xeonX7550();
+  PageTable pt(4096);
+  VirtualTopology topo(machine);
+  const RegionId r = pt.register_region("a", 4096 * 2);
+  pt.first_touch(r, 0, 4096, 0);      // node 0
+  pt.first_touch(r, 4096, 8192, 1);   // node 1
+
+  TrafficRecorder rec(pt, topo, 16);
+  rec.account(/*tid=*/0, r, 0, 8192);    // thread 0 on node 0
+  rec.account(/*tid=*/8, r, 0, 4096);    // thread 8 on node 1
+  const TrafficStats stats = rec.collect();
+  EXPECT_EQ(stats.local_bytes, 4096u);              // thread 0's first page
+  EXPECT_EQ(stats.remote_bytes, 4096u + 4096u);     // rest is cross-node
+  EXPECT_EQ(stats.bytes_from_node[0], 4096u * 2);   // node 0 served 2 pages
+  EXPECT_EQ(stats.bytes_from_node[1], 4096u);
+  EXPECT_NEAR(stats.locality(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(TrafficStats, MergeAndEmptyLocality) {
+  TrafficStats a, b;
+  a.local_bytes = 10;
+  b.remote_bytes = 30;
+  b.bytes_from_node = {5, 25};
+  a.merge(b);
+  EXPECT_EQ(a.local_bytes, 10u);
+  EXPECT_EQ(a.remote_bytes, 30u);
+  EXPECT_EQ(a.bytes_from_node[1], 25u);
+  EXPECT_DOUBLE_EQ(TrafficStats{}.locality(), 1.0);
+}
+
+}  // namespace
+}  // namespace nustencil::numa

@@ -1,0 +1,168 @@
+// Performance model: reference lines against the paper's caption numbers,
+// and the qualitative shapes the model must reproduce (NUMA cliff,
+// domain-size crossover, banded drop).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "perf/microbench.hpp"
+#include "perf/model.hpp"
+#include "schemes/scheme.hpp"
+
+namespace nustencil::perf {
+namespace {
+
+const topology::MachineSpec kXeon = topology::xeonX7550();
+const topology::MachineSpec kOpteron = topology::opteron8222();
+
+double gflops(double gupdates_per_core, const core::StencilSpec& st, int cores) {
+  return gupdates_per_core * st.flops() * cores;
+}
+
+TEST(ReferenceLines, MatchPaperCaptions) {
+  const auto c7 = core::StencilSpec::paper_3d7p();
+  // Fig. 5/7/9 captions at 32 Xeon cores.
+  EXPECT_NEAR(gflops(peak_dp_line(kXeon, c7, 32), c7, 32), 202.5, 1.0);
+  EXPECT_NEAR(gflops(ll1band0c_line(kXeon, c7, 32), c7, 32), 119.6, 1.0);
+  EXPECT_NEAR(gflops(sysbandic_line(kXeon, c7, 32), c7, 32), 51.2, 1.0);
+  EXPECT_NEAR(gflops(sysband0c_line(kXeon, c7, 32), c7, 32), 12.7, 0.5);
+  // Fig. 4/6/8 captions at 16 Opteron cores.  PeakDP and LL1Band0C follow
+  // Table I exactly; the paper's Opteron SysBand captions sit ~35% above
+  // what Table I's 11.9 GB/s implies (the Xeon captions are exact), so
+  // those are asserted loosely — see EXPERIMENTS.md.
+  EXPECT_NEAR(gflops(peak_dp_line(kOpteron, c7, 16), c7, 16), 95.3, 0.5);
+  EXPECT_NEAR(gflops(ll1band0c_line(kOpteron, c7, 16), c7, 16), 37.7, 0.5);
+  EXPECT_NEAR(gflops(sysbandic_line(kOpteron, c7, 16), c7, 16), 13.2, 4.0);
+  EXPECT_NEAR(gflops(sysband0c_line(kOpteron, c7, 16), c7, 16), 3.3, 1.0);
+}
+
+TEST(ReferenceLines, BandedCaptions) {
+  const auto b7 = core::StencilSpec::banded_star(3, 1);
+  // Fig. 11/13/15: LL1Band0C 63.8, SysBandIC 11.3, SysBand0C 6.8 (Xeon).
+  EXPECT_NEAR(gflops(ll1band0c_line(kXeon, b7, 32), b7, 32), 63.8, 1.0);
+  EXPECT_NEAR(gflops(sysbandic_line(kXeon, b7, 32), b7, 32), 11.3, 0.5);
+  EXPECT_NEAR(gflops(sysband0c_line(kXeon, b7, 32), b7, 32), 6.8, 0.5);
+  // Fig. 10/12/14 (Opteron): 20.1 / 2.9 / 1.8 (SysBand loose, see above).
+  EXPECT_NEAR(gflops(ll1band0c_line(kOpteron, b7, 16), b7, 16), 20.1, 0.5);
+  EXPECT_NEAR(gflops(sysbandic_line(kOpteron, b7, 16), b7, 16), 2.9, 1.0);
+  EXPECT_NEAR(gflops(sysband0c_line(kOpteron, b7, 16), b7, 16), 1.8, 0.6);
+}
+
+/// Fixture-owned stencils so each ModelInput points at stable storage.
+struct InputFactory {
+  std::vector<std::unique_ptr<core::StencilSpec>> stencils;
+
+  ModelInput make(const topology::MachineSpec& m, const core::StencilSpec& st,
+                  int threads) {
+    stencils.push_back(std::make_unique<core::StencilSpec>(st));
+    ModelInput in;
+    in.machine = &m;
+    in.stencil = stencils.back().get();
+    in.threads = threads;
+    in.traffic.mem_doubles_per_update = 0.1;
+    in.traffic.llc_doubles_per_update = 8.0;
+    return in;
+  }
+};
+
+TEST(Model, NumaCliff) {
+  // Identical traffic, but serial first touch (all demand on node 0, low
+  // locality) must collapse per-core performance beyond one socket.
+  InputFactory f;
+  const auto st = core::StencilSpec::paper_3d7p();
+  auto aware = f.make(kXeon, st, 32);
+  aware.traffic.mem_doubles_per_update = 2.0;
+  aware.locality = 0.95;
+  aware.node_demand = {1, 1, 1, 1};
+  auto blind = aware;
+  blind.locality = 0.25;
+  blind.node_demand = {4, 0, 0, 0};
+  const double a = model_scheme(aware).gupdates_per_core;
+  const double b = model_scheme(blind).gupdates_per_core;
+  EXPECT_GT(a, 1.8 * b) << "NUMA-blind placement must cost at least ~2x";
+}
+
+TEST(Model, SameWithinOneSocket) {
+  // Within one socket there is no remote traffic; placement is irrelevant.
+  InputFactory f;
+  const auto st = core::StencilSpec::paper_3d7p();
+  auto aware = f.make(kXeon, st, 8);
+  aware.locality = 1.0;
+  aware.node_demand = {1, 0, 0, 0};
+  auto blind = aware;  // same node demand: everything on socket 0
+  EXPECT_DOUBLE_EQ(model_scheme(aware).gupdates_per_core,
+                   model_scheme(blind).gupdates_per_core);
+}
+
+TEST(Model, BindingResourceReported) {
+  InputFactory f;
+  const auto st = core::StencilSpec::paper_3d7p();
+  auto in = f.make(kXeon, st, 32);
+  in.traffic.mem_doubles_per_update = 50.0;  // clearly memory bound
+  const auto out = model_scheme(in);
+  EXPECT_GT(out.t_mem, out.t_llc);
+  EXPECT_GT(out.t_mem, out.t_compute);
+}
+
+TEST(Model, MoreThreadsNeverSlowerAggregate) {
+  InputFactory f;
+  const auto st = core::StencilSpec::paper_3d7p();
+  double prev = 0.0;
+  for (int n : {1, 2, 4, 8, 16, 32}) {
+    auto in = f.make(kXeon, st, n);
+    in.traffic.mem_doubles_per_update = 2.0;
+    const double total = model_scheme(in).gupdates_per_core * n;
+    EXPECT_GE(total, prev * 0.999);
+    prev = total;
+  }
+}
+
+TEST(SchemeEstimates, BandedCostsMoreMemoryTraffic) {
+  for (const auto& name : schemes::scheme_names()) {
+    const auto scheme = schemes::make_scheme(name);
+    const auto c = scheme->estimate_traffic(kXeon, Coord{200, 200, 200},
+                                            core::StencilSpec::paper_3d7p(), 16, 100);
+    const auto b = scheme->estimate_traffic(kXeon, Coord{200, 200, 200},
+                                            core::StencilSpec::banded_star(3, 1), 16, 100);
+    EXPECT_GT(b.mem_doubles_per_update, c.mem_doubles_per_update) << name;
+    EXPECT_GT(b.llc_doubles_per_update, c.llc_doubles_per_update) << name;
+  }
+}
+
+TEST(SchemeEstimates, TemporalBlockingBeatsNaive) {
+  // On big domains the temporal blockers must move far less memory per
+  // update than the naive sweep — that is the whole point of the paper.
+  const auto st = core::StencilSpec::paper_3d7p();
+  const auto naive = schemes::make_scheme("NaiveSSE")
+                         ->estimate_traffic(kXeon, Coord{500, 500, 500}, st, 32, 100);
+  for (const std::string name : {"nuCATS", "nuCORALS", "CATS", "CORALS"}) {
+    const auto e = schemes::make_scheme(name)->estimate_traffic(
+        kXeon, Coord{500, 500, 500}, st, 32, 100);
+    EXPECT_LT(e.mem_doubles_per_update, naive.mem_doubles_per_update / 2.0) << name;
+  }
+}
+
+TEST(SchemeEstimates, CoralsCrossoverWithDomainSize) {
+  // Figs. 7 vs 9: nuCORALS wins on 160^3, nuCATS on 500^3 (Xeon).  The
+  // crossover comes from the traffic estimates.
+  const auto st = core::StencilSpec::paper_3d7p();
+  const auto corals_small = schemes::make_scheme("nuCORALS")->estimate_traffic(
+      kXeon, Coord{160, 160, 160}, st, 32, 100);
+  const auto corals_big = schemes::make_scheme("nuCORALS")->estimate_traffic(
+      kXeon, Coord{500, 500, 500}, st, 32, 100);
+  EXPECT_LT(corals_small.llc_doubles_per_update, corals_big.llc_doubles_per_update);
+}
+
+TEST(Microbench, PeakAndBandwidthArePositive) {
+  EXPECT_GT(measure_peak_dp_gflops(0.02), 0.1);
+  EXPECT_GT(measure_copy_bandwidth_gbs(1 << 20, 0.02), 0.1);
+}
+
+TEST(Microbench, L1FasterThanMemory) {
+  const double l1 = measure_copy_bandwidth_gbs(16 << 10, 0.05);
+  const double mem = measure_copy_bandwidth_gbs(64 << 20, 0.05);
+  EXPECT_GT(l1, mem * 0.8) << "cache copies should not be slower than DRAM";
+}
+
+}  // namespace
+}  // namespace nustencil::perf

@@ -1,0 +1,140 @@
+// Threading substrate: team fork-join, barrier, spin flags, progress
+// counters, abort propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "thread/abort.hpp"
+#include "thread/barrier.hpp"
+#include "thread/spinflag.hpp"
+#include "thread/team.hpp"
+
+namespace nustencil::threading {
+namespace {
+
+TEST(Team, RunsEveryMemberOnce) {
+  Team team(8, /*pin=*/false);
+  std::vector<std::atomic<int>> hits(8);
+  team.run([&](int tid) { hits[static_cast<std::size_t>(tid)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Team, ReusableAcrossRegions) {
+  Team team(4, false);
+  std::atomic<int> total{0};
+  for (int i = 0; i < 10; ++i) team.run([&](int) { total++; });
+  EXPECT_EQ(total.load(), 40);
+}
+
+TEST(Team, PropagatesFirstException) {
+  Team team(4, false);
+  EXPECT_THROW(team.run([&](int tid) {
+    if (tid == 2) throw Error("boom");
+  }),
+               Error);
+  // The team survives and remains usable.
+  std::atomic<int> total{0};
+  team.run([&](int) { total++; });
+  EXPECT_EQ(total.load(), 4);
+}
+
+TEST(Barrier, SynchronisesPhases) {
+  const int n = 6;
+  Team team(n, false);
+  Barrier barrier(n);
+  std::atomic<int> phase1{0};
+  std::atomic<bool> ok{true};
+  team.run([&](int) {
+    phase1++;
+    barrier.arrive_and_wait();
+    if (phase1.load() != n) ok = false;  // all must have passed phase 1
+    barrier.arrive_and_wait();
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Barrier, ManyRounds) {
+  const int n = 4;
+  Team team(n, false);
+  Barrier barrier(n);
+  std::atomic<long> counter{0};
+  std::atomic<bool> ok{true};
+  team.run([&](int) {
+    for (long round = 0; round < 200; ++round) {
+      counter++;
+      barrier.arrive_and_wait();
+      if (counter.load() != n * (round + 1)) ok = false;
+      barrier.arrive_and_wait();
+    }
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Barrier, AbortUnblocksWaiters) {
+  Team team(2, false);
+  Barrier barrier(2);
+  AbortToken abort;
+  EXPECT_THROW(team.run([&](int tid) {
+    if (tid == 0) {
+      abort.trigger();
+      throw Error("worker 0 failed");
+    }
+    barrier.arrive_and_wait(&abort);  // must not hang
+  }),
+               Error);
+}
+
+TEST(FlagArray, SetTestWaitReset) {
+  FlagArray flags(4);
+  EXPECT_FALSE(flags.test(2));
+  flags.set(2);
+  EXPECT_TRUE(flags.test(2));
+  flags.wait(2);  // returns immediately
+  flags.reset();
+  EXPECT_FALSE(flags.test(2));
+}
+
+TEST(FlagArray, CrossThreadHandoff) {
+  FlagArray flags(1);
+  std::thread producer([&] {
+    std::this_thread::yield();
+    flags.set(0);
+  });
+  flags.wait(0);
+  producer.join();
+  EXPECT_TRUE(flags.test(0));
+}
+
+TEST(ProgressCounter, MonotoneAndWaitable) {
+  ProgressCounter c;
+  EXPECT_EQ(c.current(), 0);
+  c.advance_to(3);
+  c.advance_to(3);  // idempotent
+  EXPECT_EQ(c.current(), 3);
+  c.wait_for(2);  // satisfied
+  std::thread producer([&] { c.advance_to(10); });
+  c.wait_for(10);
+  producer.join();
+  EXPECT_EQ(c.current(), 10);
+}
+
+TEST(ProgressCounter, AbortThrowsOutOfWait) {
+  ProgressCounter c;
+  AbortToken abort;
+  std::thread killer([&] { abort.trigger(); });
+  EXPECT_THROW(c.wait_for(100, &abort), Error);
+  killer.join();
+}
+
+TEST(AbortToken, CheckThrowsOnlyWhenTriggered) {
+  AbortToken abort;
+  EXPECT_NO_THROW(abort.check());
+  abort.trigger();
+  EXPECT_THROW(abort.check(), Error);
+}
+
+}  // namespace
+}  // namespace nustencil::threading

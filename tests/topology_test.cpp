@@ -1,0 +1,97 @@
+// Machine descriptions and bandwidth curves (Table I / Fig. 3).
+#include <gtest/gtest.h>
+
+#include "topology/machine.hpp"
+
+namespace nustencil::topology {
+namespace {
+
+TEST(MachineSpec, OpteronMatchesTableI) {
+  const MachineSpec m = opteron8222();
+  EXPECT_EQ(m.sockets, 8);
+  EXPECT_EQ(m.cores_per_socket, 2);
+  EXPECT_EQ(m.cores(), 16);
+  EXPECT_EQ(m.numa_nodes(), 8);
+  EXPECT_EQ(m.caches.size(), 2u);  // no L3
+  EXPECT_DOUBLE_EQ(m.sys_bw_gbs, 11.9);
+  EXPECT_DOUBLE_EQ(m.peak_dp_gflops, 95.3);
+  // Derived ratios the paper reports in Table I.
+  EXPECT_NEAR(m.last_level_cache().aggregate_bw_gbs / m.sys_bw_gbs, 15.6, 0.1);
+  EXPECT_NEAR(m.peak_dp_gflops / (m.sys_bw_gbs / 8.0), 64.1, 0.1);
+}
+
+TEST(MachineSpec, XeonMatchesTableI) {
+  const MachineSpec m = xeonX7550();
+  EXPECT_EQ(m.cores(), 32);
+  EXPECT_EQ(m.numa_nodes(), 4);
+  EXPECT_EQ(m.caches.size(), 3u);
+  EXPECT_NEAR(m.last_level_cache().aggregate_bw_gbs / m.sys_bw_gbs, 9.3, 0.1);
+  EXPECT_NEAR(m.peak_dp_gflops / (m.sys_bw_gbs / 8.0), 25.7, 0.1);
+  EXPECT_NEAR(m.peak_dp_gflops / (m.last_level_cache().aggregate_bw_gbs / 8.0), 2.8,
+              0.1);
+}
+
+TEST(BandwidthCurve, AnchorsAndInterpolation) {
+  const MachineSpec m = opteron8222();
+  EXPECT_DOUBLE_EQ(m.sys_bw_scaling.factor(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.sys_bw_scaling.factor(2), 1.6);   // Section IV-C
+  EXPECT_DOUBLE_EQ(m.sys_bw_scaling.factor(16), 6.5);  // overall 6.5x
+  // Monotone between anchors.
+  double prev = 0.0;
+  for (int n = 1; n <= 16; ++n) {
+    const double f = m.sys_bw_scaling.factor(n);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(BandwidthCurve, XeonTotalSpeedup) {
+  const MachineSpec m = xeonX7550();
+  EXPECT_NEAR(m.sys_bw_scaling.factor(32), 13.7, 0.01);  // Section IV-C
+  EXPECT_NEAR(m.sys_bw_at(32), 63.0, 0.01);
+  // 16 cores (2 sockets): 38.7 GB/s per Section IV-D.
+  EXPECT_NEAR(m.sys_bw_at(16), 38.7, 0.5);
+}
+
+TEST(BandwidthCurve, SaturatesBeyondLastAnchor) {
+  BandwidthCurve c;
+  c.anchors = {{1, 1.0}, {4, 2.0}};
+  EXPECT_DOUBLE_EQ(c.factor(8), 2.0);
+}
+
+TEST(MachineSpec, ActiveSocketsFillFirst) {
+  const MachineSpec m = xeonX7550();
+  EXPECT_EQ(m.active_sockets(1), 1);
+  EXPECT_EQ(m.active_sockets(8), 1);
+  EXPECT_EQ(m.active_sockets(9), 2);
+  EXPECT_EQ(m.active_sockets(32), 4);
+  EXPECT_EQ(m.node_of_core(0), 0);
+  EXPECT_EQ(m.node_of_core(7), 0);
+  EXPECT_EQ(m.node_of_core(8), 1);
+  EXPECT_EQ(m.node_of_core(31), 3);
+}
+
+TEST(MachineSpec, SysBandwidthPerCoreDegrades) {
+  const MachineSpec m = xeonX7550();
+  // The per-core system bandwidth must fall with the core count (Fig. 3)
+  // while the per-core cache bandwidth is constant.
+  EXPECT_GT(m.sys_bw_at(1) / 1, m.sys_bw_at(32) / 32);
+  EXPECT_DOUBLE_EQ(m.cache_bw_per_core(2), m.caches[2].aggregate_bw_gbs / 32.0);
+}
+
+TEST(MachineSpec, HostIsUsable) {
+  const MachineSpec m = host();
+  EXPECT_GE(m.cores(), 1);
+  EXPECT_FALSE(m.caches.empty());
+  EXPECT_GT(m.sys_bw_at(1), 0.0);
+}
+
+TEST(MachineSpec, BadThreadCountsThrow) {
+  const MachineSpec m = xeonX7550();
+  EXPECT_THROW(m.active_sockets(0), Error);
+  EXPECT_THROW(m.active_sockets(33), Error);
+  EXPECT_THROW(m.sys_bw_scaling.factor(0), Error);
+}
+
+}  // namespace
+}  // namespace nustencil::topology

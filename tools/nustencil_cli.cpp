@@ -1,0 +1,194 @@
+// nustencil — general-purpose command-line driver.
+//
+// Runs any scheme on any supported problem, optionally instrumented
+// against a paper machine's virtual NUMA topology, optionally verified
+// against the reference executor, with CSV output for scripting.
+//
+//   nustencil --scheme nuCORALS --shape 128x128x128 --steps 100 --threads 8
+//   nustencil --scheme nuCATS --banded --order 2 --verify --instrument
+//   nustencil --sweep-threads 1,2,4,8 --csv results.csv
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/args.hpp"
+#include "schemes/explain.hpp"
+#include "topology/machine_file.hpp"
+#include "common/table.hpp"
+#include "core/executor.hpp"
+#include "core/reference.hpp"
+#include "schemes/scheme.hpp"
+
+namespace {
+
+using namespace nustencil;
+
+Coord parse_shape(const std::string& text) {
+  Coord shape;
+  std::vector<Index> dims;
+  std::stringstream ss(text);
+  std::string part;
+  while (std::getline(ss, part, 'x')) dims.push_back(std::atol(part.c_str()));
+  NUSTENCIL_CHECK(!dims.empty() && dims.size() <= 3,
+                  "--shape expects up to three 'x'-separated extents, e.g. 128x128x128");
+  switch (dims.size()) {
+    case 1: return Coord{dims[0]};
+    case 2: return Coord{dims[0], dims[1]};
+    default: return Coord{dims[0], dims[1], dims[2]};
+  }
+}
+
+std::vector<int> parse_int_list(const std::string& text) {
+  std::vector<int> out;
+  std::stringstream ss(text);
+  std::string part;
+  while (std::getline(ss, part, ',')) out.push_back(std::atoi(part.c_str()));
+  return out;
+}
+
+const topology::MachineSpec* machine_by_name(const std::string& name,
+                                             topology::MachineSpec& storage) {
+  if (name == "xeon") {
+    storage = topology::xeonX7550();
+  } else if (name == "opteron") {
+    storage = topology::opteron8222();
+  } else if (name == "host") {
+    storage = topology::host();
+  } else {
+    // Anything else is a machine description file (see
+    // src/topology/machine_file.hpp for the format).
+    storage = topology::load_machine(name);
+  }
+  return &storage;
+}
+
+/// Runs the reference on a copy-problem and reports the max deviation.
+double verify_against_reference(core::Problem& actual, const Coord& shape,
+                                const core::StencilSpec& stencil,
+                                const schemes::RunConfig& cfg) {
+  core::Problem expected(shape, stencil);
+  expected.initialize(cfg.seed);
+  if (cfg.boundary.all_periodic(shape.rank())) {
+    core::reference_run(expected, cfg.timesteps);
+  } else {
+    const core::Box interior = core::updatable_box(shape, stencil, cfg.boundary);
+    double* u0 = expected.buffer(0).data();
+    double* u1 = expected.buffer(1).data();
+    Coord pos = Coord::filled(shape.rank(), 0);
+    for (Index i = 0; i < expected.volume(); ++i) {
+      bool inside = true;
+      for (int d = 0; d < shape.rank(); ++d)
+        inside = inside && pos[d] >= interior.lo[d] && pos[d] < interior.hi[d];
+      if (!inside) u1[i] = u0[i];
+      for (int d = 0; d < shape.rank(); ++d) {
+        if (++pos[d] < shape[d]) break;
+        pos[d] = 0;
+      }
+    }
+    core::Executor exec(expected);
+    for (long t = 0; t < cfg.timesteps; ++t) exec.update_box(interior, t, 0);
+  }
+  return core::max_rel_diff(actual.buffer(cfg.timesteps),
+                            expected.buffer(cfg.timesteps));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  ArgParser args("nustencil", "run iterative stencil schemes (IPDPS'12 reproduction)");
+  args.add_option("scheme", "one of NaiveSSE, CATS, nuCATS, CORALS, nuCORALS, Pochoir, PLuTo",
+                  "nuCORALS");
+  args.add_option("shape", "domain extents, e.g. 128x128x128", "64x64x64");
+  args.add_option("steps", "time steps (the paper runs 100)", "100");
+  args.add_option("threads", "worker threads", "4");
+  args.add_option("sweep-threads", "comma-separated thread counts (overrides --threads)",
+                  "");
+  args.add_option("order", "stencil order s", "1");
+  args.add_option("machine",
+                  "instrumentation topology: xeon, opteron, host, or a machine "
+                  "description file",
+                  "xeon");
+  args.add_option("seed", "deterministic initial-condition seed", "42");
+  args.add_option("csv", "append results as CSV to this file", "");
+  args.add_flag("banded", "variable coefficients (7-band matrix for s=1)");
+  args.add_flag("dirichlet", "Dirichlet boundaries in every dimension");
+  args.add_flag("instrument", "measure NUMA locality under --machine's topology");
+  args.add_flag("check", "validate the space-time dependency order of every update");
+  args.add_flag("verify", "compare the result against the reference executor");
+  args.add_flag("no-simd", "disable the SSE2/AVX kernels");
+  args.add_flag("pin", "pin worker threads to host cores");
+  args.add_flag("explain", "print the plan the scheme would execute, then exit");
+  if (!args.parse(argc, argv)) return 0;
+
+  const Coord shape = parse_shape(args.get("shape"));
+  const int order = static_cast<int>(args.get_long("order"));
+  const core::StencilSpec stencil =
+      args.get_flag("banded") ? core::StencilSpec::banded_star(shape.rank(), order)
+      : (shape.rank() == 3 && order == 1) ? core::StencilSpec::paper_3d7p()
+                                          : core::StencilSpec::stable_star(shape.rank(), order);
+
+  std::vector<int> thread_counts = parse_int_list(args.get("sweep-threads"));
+  if (thread_counts.empty())
+    thread_counts.push_back(static_cast<int>(args.get_long("threads")));
+
+  topology::MachineSpec machine_storage;
+  const topology::MachineSpec* machine =
+      machine_by_name(args.get("machine"), machine_storage);
+
+  if (args.get_flag("explain")) {
+    std::cout << schemes::describe_plan(args.get("scheme"), shape, stencil, *machine,
+                                        thread_counts.front(),
+                                        args.get_long("steps"));
+    return 0;
+  }
+
+  Table table("nustencil: " + args.get("scheme") + " on " + args.get("shape") +
+              (args.get_flag("banded") ? " (banded)" : "") + ", s=" +
+              std::to_string(order) + ", " + args.get("steps") + " steps");
+  table.set_header({"threads", "seconds", "Gupdates/s", "GFLOPS", "locality %",
+                    "max rel diff"});
+
+  for (const int threads : thread_counts) {
+    const auto scheme = schemes::make_scheme(args.get("scheme"));
+    schemes::RunConfig cfg;
+    cfg.num_threads = threads;
+    cfg.timesteps = args.get_long("steps");
+    cfg.instrument = args.get_flag("instrument");
+    cfg.check_dependencies = args.get_flag("check");
+    cfg.use_simd = !args.get_flag("no-simd");
+    cfg.pin_threads = args.get_flag("pin");
+    cfg.machine = machine;
+    cfg.seed = static_cast<unsigned>(args.get_long("seed"));
+    if (args.get_flag("dirichlet")) cfg.boundary = core::Boundary::dirichlet();
+    if (args.get("scheme") == "CATS" || args.get("scheme") == "nuCATS")
+      cfg.boundary[2] = core::BoundaryKind::Dirichlet;
+
+    core::Problem problem(shape, stencil);
+    const schemes::RunResult result = scheme->run(problem, cfg);
+    const double diff = args.get_flag("verify")
+                            ? verify_against_reference(problem, shape, stencil, cfg)
+                            : std::nan("");
+    table.add_row(std::to_string(threads),
+                  {result.seconds, result.gupdates_per_second(),
+                   result.gupdates_per_second() * stencil.flops(),
+                   cfg.instrument ? result.traffic.locality() * 100.0 : std::nan(""),
+                   diff});
+    if (args.get_flag("verify") && !(diff <= 1e-12)) {
+      std::cerr << "VERIFICATION FAILED: max relative difference " << diff << '\n';
+      return 1;
+    }
+  }
+
+  table.print(std::cout);
+  if (const std::string csv = args.get("csv"); !csv.empty()) {
+    std::ofstream out(csv, std::ios::app);
+    NUSTENCIL_CHECK(out.good(), "cannot open CSV file " + csv);
+    table.print_csv(out);
+    std::cout << "appended CSV to " << csv << '\n';
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 2;
+}
