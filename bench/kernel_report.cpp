@@ -1,0 +1,200 @@
+// Kernel engine perf trajectory: times one full-domain sweep of the
+// paper's 3D 7-point constant stencil under every kernel policy this
+// host can honour, verifies the bit-exactness contract, and writes the
+// results as JSON (BENCH_kernels.json at the repo root by default) so
+// the speedup of the tap-specialized kernels over the generic baseline
+// is tracked across PRs.
+//
+//   kernel_report [--edge 64] [--steps N] [--out BENCH_kernels.json]
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "common/args.hpp"
+#include "common/error.hpp"
+#include "core/executor.hpp"
+#include "core/kernels.hpp"
+
+namespace {
+
+using namespace nustencil;
+
+core::Box whole(const Coord& shape) {
+  core::Box b;
+  b.lo = Coord::filled(shape.rank(), 0);
+  b.hi = shape;
+  return b;
+}
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+struct Measurement {
+  core::KernelPolicy policy;
+  std::string kernel;     // selected variant name
+  double seconds_per_sweep = 0.0;
+  double gupdates_per_second = 0.0;
+};
+
+/// Times `sweeps_per_rep` full-domain sweeps per rep for every policy,
+/// interleaving the reps round-robin across the policies (so clock-speed
+/// or steal-time drift on a shared machine biases every policy equally,
+/// not whichever happened to run during the slow phase) and keeping the
+/// best rep per policy.
+std::vector<Measurement> measure_all(const std::vector<core::KernelPolicy>& policies,
+                                     Index edge, long sweeps_per_rep, int reps) {
+  struct Run {
+    core::Problem problem;
+    core::Executor exec;
+    long t = 0;
+    double best = 1e30;
+    Run(const Coord& shape, core::KernelPolicy policy)
+        : problem(shape, core::StencilSpec::paper_3d7p()),
+          exec((problem.initialize(), problem), {}, policy) {}
+  };
+  const Coord shape{edge, edge, edge};
+  std::vector<Run> runs;
+  runs.reserve(policies.size());
+  for (core::KernelPolicy p : policies) runs.emplace_back(shape, p);
+
+  const core::Box domain = whole(shape);
+  for (Run& r : runs)
+    for (int warm = 0; warm < 2; ++warm) r.exec.update_box(domain, r.t++, 0);
+
+  for (int rep = 0; rep < reps; ++rep) {
+    for (Run& r : runs) {
+      const double t0 = now_seconds();
+      for (long i = 0; i < sweeps_per_rep; ++i) r.exec.update_box(domain, r.t++, 0);
+      r.best = std::min(r.best, now_seconds() - t0);
+    }
+  }
+
+  std::vector<Measurement> out;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    Measurement m;
+    m.policy = policies[i];
+    m.kernel = runs[i].exec.kernel().name();
+    m.seconds_per_sweep = runs[i].best / static_cast<double>(sweeps_per_rep);
+    m.gupdates_per_second =
+        static_cast<double>(runs[i].problem.volume()) / m.seconds_per_sweep * 1e-9;
+    out.push_back(m);
+  }
+  return out;
+}
+
+/// Calibrates the per-rep sweep count so one rep takes ~50 ms.
+long calibrate_sweeps(Index edge) {
+  core::Problem problem(Coord{edge, edge, edge}, core::StencilSpec::paper_3d7p());
+  problem.initialize();
+  core::Executor exec(problem, {}, core::KernelPolicy::Scalar);
+  const core::Box domain = whole(problem.shape());
+  exec.update_box(domain, 0, 0);
+  const double t0 = now_seconds();
+  exec.update_box(domain, 1, 0);
+  const double one = std::max(1e-6, now_seconds() - t0);
+  return std::max<long>(1, static_cast<long>(0.05 / one));
+}
+
+bool bitexact_vs_scalar(core::KernelPolicy policy, Index edge) {
+  const Coord shape{edge, edge, edge};
+  std::vector<std::vector<double>> results;
+  for (core::KernelPolicy p : {core::KernelPolicy::Scalar, policy}) {
+    core::Problem problem(shape, core::StencilSpec::paper_3d7p());
+    problem.initialize();
+    core::Executor exec(problem, {}, p);
+    for (long t = 0; t < 3; ++t) exec.update_box(whole(shape), t, 0);
+    const double* d = problem.buffer(3).data();
+    results.emplace_back(d, d + problem.volume());
+  }
+  return std::memcmp(results[0].data(), results[1].data(),
+                     results[0].size() * sizeof(double)) == 0;
+}
+
+bool policy_runnable(core::KernelPolicy policy) {
+  using core::KernelIsa;
+  switch (policy) {
+    case core::KernelPolicy::SSE2:
+      return core::kernel_isa_supported(KernelIsa::SSE2);
+    case core::KernelPolicy::AVX2:
+      return core::kernel_isa_supported(KernelIsa::AVX2);
+    case core::KernelPolicy::FMA:
+      return core::kernel_isa_supported(KernelIsa::AVX2) &&
+             core::CpuFeatures::host().fma;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  ArgParser args("kernel_report",
+                 "time the kernel engine's policies and write BENCH_kernels.json");
+  args.add_option("edge", "cubic domain edge", "64");
+  args.add_option("steps", "sweeps per timing rep (0 = calibrate to ~50 ms)", "0");
+  args.add_option("reps", "interleaved timing reps per policy", "13");
+  args.add_option("out", "output JSON path", "BENCH_kernels.json");
+  if (!args.parse(argc, argv)) return 0;
+
+  const Index edge = args.get_long("edge");
+  long sweeps = args.get_long("steps");
+  if (sweeps <= 0) sweeps = calibrate_sweeps(edge);
+  const int reps = static_cast<int>(args.get_long("reps"));
+
+  const auto& cpu = core::CpuFeatures::host();
+  std::vector<core::KernelPolicy> policies;
+  for (core::KernelPolicy policy :
+       {core::KernelPolicy::Scalar, core::KernelPolicy::SSE2,
+        core::KernelPolicy::AVX2, core::KernelPolicy::FMA,
+        core::KernelPolicy::GenericSimd, core::KernelPolicy::Auto}) {
+    if (policy_runnable(policy)) policies.push_back(policy);
+  }
+  const std::vector<Measurement> results = measure_all(policies, edge, sweeps, reps);
+  for (const Measurement& m : results)
+    std::cout << "  " << to_string(m.policy) << " -> " << m.kernel << ": "
+              << m.gupdates_per_second << " Gupdates/s\n";
+
+  double generic_time = 0.0, auto_time = 0.0;
+  for (const Measurement& m : results) {
+    if (m.policy == core::KernelPolicy::GenericSimd)
+      generic_time = m.seconds_per_sweep;
+    if (m.policy == core::KernelPolicy::Auto) auto_time = m.seconds_per_sweep;
+  }
+  const double speedup = auto_time > 0 ? generic_time / auto_time : 0.0;
+  const bool exact = bitexact_vs_scalar(core::KernelPolicy::Auto, std::min<Index>(edge, 32));
+
+  std::ofstream out(args.get("out"));
+  NUSTENCIL_CHECK(out.good(), "cannot open " + args.get("out"));
+  out << "{\n"
+      << "  \"bench\": \"kernel_report\",\n"
+      << "  \"stencil\": \"3d7p_const\",\n"
+      << "  \"edge\": " << edge << ",\n"
+      << "  \"sweeps_per_rep\": " << sweeps << ",\n"
+      << "  \"host\": {\"sse2\": " << (cpu.sse2 ? "true" : "false")
+      << ", \"avx2\": " << (cpu.avx2 ? "true" : "false")
+      << ", \"fma\": " << (cpu.fma ? "true" : "false") << "},\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    out << "    {\"policy\": \"" << to_string(m.policy) << "\", \"kernel\": \""
+        << m.kernel << "\", \"seconds_per_sweep\": " << m.seconds_per_sweep
+        << ", \"gupdates_per_s\": " << m.gupdates_per_second << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"speedup_specialized_vs_generic\": " << speedup << ",\n"
+      << "  \"bitexact_auto_vs_scalar\": " << (exact ? "true" : "false") << "\n"
+      << "}\n";
+  std::cout << "specialized-vs-generic speedup at " << edge << "^3: " << speedup
+            << "x; bit-exact: " << (exact ? "yes" : "NO") << "; wrote "
+            << args.get("out") << '\n';
+  return exact ? 0 : 1;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 2;
+}

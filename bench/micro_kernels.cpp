@@ -1,21 +1,44 @@
 // Google-benchmark microbenchmarks of the stencil kernels on this host:
-// scalar vs SSE2, constant vs banded, orders 1-3, and the reference
-// full-domain sweep.  These measure real wall time (unlike the figure
-// benches, which model the paper machines).
+// a sweep over the kernel engine's policies (scalar vs SSE2 vs AVX2 vs
+// FMA, tap-specialized vs the generic runtime-taps baseline), constant
+// vs banded, orders 1-3.  These measure real wall time (unlike the
+// figure benches, which model the paper machines).  For the JSON perf
+// trajectory written to BENCH_kernels.json, see bench/kernel_report.cpp.
 #include <benchmark/benchmark.h>
 
 #include "core/executor.hpp"
 #include "core/field.hpp"
+#include "core/kernels.hpp"
 
 namespace {
 
 using namespace nustencil;
 
-void run_sweep(benchmark::State& state, const core::StencilSpec& stencil, bool simd) {
+/// Skips (instead of silently downgrading) when this host can't honour
+/// the requested policy, so the reported numbers are what they claim.
+bool policy_runnable(core::KernelPolicy policy) {
+  using core::KernelIsa;
+  using core::KernelPolicy;
+  switch (policy) {
+    case KernelPolicy::SSE2: return core::kernel_isa_supported(KernelIsa::SSE2);
+    case KernelPolicy::AVX2: return core::kernel_isa_supported(KernelIsa::AVX2);
+    case KernelPolicy::FMA:
+      return core::kernel_isa_supported(KernelIsa::AVX2) &&
+             core::CpuFeatures::host().fma;
+    default: return true;
+  }
+}
+
+void run_sweep(benchmark::State& state, const core::StencilSpec& stencil,
+               core::KernelPolicy policy) {
+  if (!policy_runnable(policy)) {
+    state.SkipWithError("kernel policy unsupported on this host");
+    return;
+  }
   const Index edge = state.range(0);
   core::Problem problem(Coord{edge, edge, edge}, stencil);
   problem.initialize();
-  core::Executor exec(problem, {}, simd);
+  core::Executor exec(problem, {}, policy);
   core::Box domain;
   domain.lo = Coord::filled(3, 0);
   domain.hi = problem.shape();
@@ -24,34 +47,65 @@ void run_sweep(benchmark::State& state, const core::StencilSpec& stencil, bool s
     exec.update_box(domain, t, 0);
     ++t;
   }
+  state.SetLabel(exec.kernel().name());
   state.SetItemsProcessed(state.iterations() * problem.volume());
   state.counters["Gupdates/s"] =
       benchmark::Counter(static_cast<double>(state.iterations() * problem.volume()),
                          benchmark::Counter::kIsRate);
 }
 
-void BM_Const7p_SSE2(benchmark::State& state) {
-  run_sweep(state, core::StencilSpec::paper_3d7p(), true);
-}
+using core::KernelPolicy;
+
 void BM_Const7p_Scalar(benchmark::State& state) {
-  run_sweep(state, core::StencilSpec::paper_3d7p(), false);
+  run_sweep(state, core::StencilSpec::paper_3d7p(), KernelPolicy::Scalar);
 }
-void BM_Banded7_SSE2(benchmark::State& state) {
-  run_sweep(state, core::StencilSpec::banded_star(3, 1), true);
+void BM_Const7p_SSE2(benchmark::State& state) {
+  run_sweep(state, core::StencilSpec::paper_3d7p(), KernelPolicy::SSE2);
 }
-void BM_Order2_SSE2(benchmark::State& state) {
-  run_sweep(state, core::StencilSpec::stable_star(3, 2), true);
+void BM_Const7p_AVX2(benchmark::State& state) {
+  run_sweep(state, core::StencilSpec::paper_3d7p(), KernelPolicy::AVX2);
 }
-void BM_Order3_SSE2(benchmark::State& state) {
-  run_sweep(state, core::StencilSpec::stable_star(3, 3), true);
+void BM_Const7p_FMA(benchmark::State& state) {
+  run_sweep(state, core::StencilSpec::paper_3d7p(), KernelPolicy::FMA);
+}
+void BM_Const7p_GenericSimd(benchmark::State& state) {
+  run_sweep(state, core::StencilSpec::paper_3d7p(), KernelPolicy::GenericSimd);
+}
+void BM_Const7p_Auto(benchmark::State& state) {
+  run_sweep(state, core::StencilSpec::paper_3d7p(), KernelPolicy::Auto);
+}
+void BM_Banded7_Auto(benchmark::State& state) {
+  run_sweep(state, core::StencilSpec::banded_star(3, 1), KernelPolicy::Auto);
+}
+void BM_Banded7_GenericSimd(benchmark::State& state) {
+  run_sweep(state, core::StencilSpec::banded_star(3, 1), KernelPolicy::GenericSimd);
+}
+void BM_Order2_Auto(benchmark::State& state) {
+  run_sweep(state, core::StencilSpec::stable_star(3, 2), KernelPolicy::Auto);
+}
+void BM_Order2_GenericSimd(benchmark::State& state) {
+  run_sweep(state, core::StencilSpec::stable_star(3, 2), KernelPolicy::GenericSimd);
+}
+void BM_Order3_Auto(benchmark::State& state) {
+  run_sweep(state, core::StencilSpec::stable_star(3, 3), KernelPolicy::Auto);
+}
+void BM_Order3_GenericSimd(benchmark::State& state) {
+  run_sweep(state, core::StencilSpec::stable_star(3, 3), KernelPolicy::GenericSimd);
 }
 
 }  // namespace
 
-BENCHMARK(BM_Const7p_SSE2)->Arg(32)->Arg(64);
 BENCHMARK(BM_Const7p_Scalar)->Arg(32)->Arg(64);
-BENCHMARK(BM_Banded7_SSE2)->Arg(32)->Arg(64);
-BENCHMARK(BM_Order2_SSE2)->Arg(32);
-BENCHMARK(BM_Order3_SSE2)->Arg(32);
+BENCHMARK(BM_Const7p_SSE2)->Arg(32)->Arg(64);
+BENCHMARK(BM_Const7p_AVX2)->Arg(32)->Arg(64);
+BENCHMARK(BM_Const7p_FMA)->Arg(32)->Arg(64);
+BENCHMARK(BM_Const7p_GenericSimd)->Arg(32)->Arg(64);
+BENCHMARK(BM_Const7p_Auto)->Arg(32)->Arg(64);
+BENCHMARK(BM_Banded7_Auto)->Arg(32)->Arg(64);
+BENCHMARK(BM_Banded7_GenericSimd)->Arg(32)->Arg(64);
+BENCHMARK(BM_Order2_Auto)->Arg(32);
+BENCHMARK(BM_Order2_GenericSimd)->Arg(32);
+BENCHMARK(BM_Order3_Auto)->Arg(32);
+BENCHMARK(BM_Order3_GenericSimd)->Arg(32);
 
 BENCHMARK_MAIN();

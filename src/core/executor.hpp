@@ -1,23 +1,25 @@
 // Region executor: applies one Jacobi time step to a spatial box.
 //
 // All tiling schemes reduce to sequences of box updates at given time
-// steps; the executor owns the per-row kernel dispatch (SSE2 fast path for
-// interior segments, scalar wrap path at periodic boundaries), the traffic
-// instrumentation, and the dependency checker hooks.  Boxes are given in
-// *virtual* coordinates: they may extend beyond the domain in any
-// dimension (skewed parallelograms do), and wrap around periodically.
+// steps; the executor owns the per-row kernel dispatch (a tap-specialized
+// SIMD kernel from core/kernels.hpp for interior segments, selected once
+// at construction via runtime CPUID; a scalar wrap path at periodic
+// boundaries), the traffic instrumentation, and the dependency checker
+// hooks.  Boxes are given in *virtual* coordinates: they may extend
+// beyond the domain in any dimension (skewed parallelograms do), and
+// wrap around periodically.
 #pragma once
+
+#include <array>
 
 #include "cachesim/shared.hpp"
 #include "core/box.hpp"
 #include "core/depcheck.hpp"
 #include "core/field.hpp"
+#include "core/kernels.hpp"
 #include "numa/traffic.hpp"
 
 namespace nustencil::core {
-
-inline constexpr int kMaxOrder = 8;
-inline constexpr int kMaxTaps = 2 * kMaxOrder * 3 + 1;
 
 /// Optional per-run instrumentation shared by all threads.  `pages` must
 /// be the table the problem's fields were attached to; it is required
@@ -32,10 +34,24 @@ struct Instrumentation {
   cachesim::SharedHierarchy* cache_sim = nullptr;
 };
 
+/// How one physical row segment [a, b) splits into wrap-checked slow
+/// cells at the periodic boundary and the interior kernel fast path.
+/// The three ranges are disjoint, ordered, and cover [a, b) exactly —
+/// including tiny domains with nx < 2*order, where the boundary regions
+/// meet in the middle and the fast range is empty.
+struct RowSplit {
+  Index lo0, lo1;      ///< leading slow range [lo0, lo1)
+  Index fast0, fast1;  ///< interior fast range [fast0, fast1)
+  Index hi0, hi1;      ///< trailing slow range [hi0, hi1)
+};
+RowSplit compute_row_split(Index a, Index b, Index nx, int order);
+
 class Executor {
  public:
-  /// `instr` may outlive-or-null; the executor never owns it.
-  Executor(Problem& problem, Instrumentation instr = {}, bool use_simd = true);
+  /// `instr` may outlive-or-null; the executor never owns it.  The row
+  /// kernel is selected once here, from `policy` and the host CPU.
+  Executor(Problem& problem, Instrumentation instr = {},
+           KernelPolicy policy = KernelPolicy::Auto);
 
   /// Updates every cell of `box` (virtual coordinates, wrapped into the
   /// periodic domain) from time `t` to `t+1` on behalf of thread `tid`.
@@ -51,15 +67,21 @@ class Executor {
   const Problem& problem() const { return *problem_; }
   Index updates_done() const { return updates_; }
 
+  /// The kernel variant this executor dispatches interior rows to.
+  const KernelChoice& kernel() const { return kernel_; }
+
  private:
   struct RowPlan;
-  void update_row(const RowPlan& plan, long t, int tid);
+  void update_row(const RowPlan& plan, const KernelArgs& ka, long t, int tid);
   void account_row(const RowPlan& plan, long t, int tid);
 
   Problem* problem_;
   Instrumentation instr_;
-  bool use_simd_;
+  KernelChoice kernel_;
   Index updates_ = 0;
+
+  // Per-problem invariants hoisted out of the row path.
+  std::array<const double*, kMaxTaps> band_ptrs_{};
 
   // Cached geometry (normalised to 3D: missing dims have extent 1).
   Index nx_, ny_, nz_;

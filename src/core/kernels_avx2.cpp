@@ -1,0 +1,72 @@
+// AVX2 (and AVX2+FMA) kernel flavours.  Compiled with -mavx2 -mfma
+// -ffp-contract=off even in baseline builds, so a generic x86-64 binary
+// carries these kernels and enables them at runtime via CPUID.  The
+// plain AVX2 variants use separate mul + add and stay bit-identical to
+// the scalar kernels; only the explicit-intrinsic FMA variants contract.
+#include "core/kernels_detail.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "core/kernels_impl.hpp"
+
+namespace {
+
+struct VecAvx2 {
+  using reg = __m256d;
+  static constexpr int width = 4;
+  static reg load(const double* p) { return _mm256_loadu_pd(p); }
+  static void store(double* p, reg v) { _mm256_storeu_pd(p, v); }
+  static reg broadcast(double c) { return _mm256_set1_pd(c); }
+  static reg mul(reg a, reg b) { return _mm256_mul_pd(a, b); }
+  static reg fmadd(reg a, reg b, reg acc) {
+    return _mm256_add_pd(_mm256_mul_pd(a, b), acc);
+  }
+};
+
+#if defined(__FMA__)
+struct VecAvx2Fma : VecAvx2 {
+  static reg fmadd(reg a, reg b, reg acc) {
+    return _mm256_fmadd_pd(a, b, acc);
+  }
+};
+#endif
+
+}  // namespace
+
+namespace nustencil::core::detail {
+
+KernelFn avx2_kernel(int ntaps, bool banded, KernelVariant variant, bool fma) {
+#if defined(__FMA__)
+  if (fma)
+    return kernel_impl::pick_kernel<VecAvx2Fma>(ntaps, banded, variant);
+#else
+  if (fma) return nullptr;
+#endif
+  return kernel_impl::pick_kernel<VecAvx2>(ntaps, banded, variant);
+}
+
+bool avx2_compiled() { return true; }
+
+bool avx2_fma_compiled() {
+#if defined(__FMA__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace nustencil::core::detail
+
+#else  // !__AVX2__
+
+namespace nustencil::core::detail {
+
+KernelFn avx2_kernel(int, bool, KernelVariant, bool) { return nullptr; }
+bool avx2_compiled() { return false; }
+bool avx2_fma_compiled() { return false; }
+
+}  // namespace nustencil::core::detail
+
+#endif

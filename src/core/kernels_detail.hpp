@@ -1,0 +1,20 @@
+// Internal cross-TU hooks of the kernel engine: each ISA translation
+// unit exports exactly one factory (plus a "was this ISA compiled in"
+// probe).  On targets where the compiler cannot produce the ISA the
+// factory returns nullptr and the dispatcher falls back.
+#pragma once
+
+#include "core/kernels.hpp"
+
+namespace nustencil::core::detail {
+
+KernelFn sse2_kernel(int ntaps, bool banded, KernelVariant variant);
+bool sse2_compiled();
+
+/// `fma == true` selects the fused-multiply-add variants (not bit-exact
+/// against the scalar kernels); requires host AVX2 *and* FMA.
+KernelFn avx2_kernel(int ntaps, bool banded, KernelVariant variant, bool fma);
+bool avx2_compiled();
+bool avx2_fma_compiled();
+
+}  // namespace nustencil::core::detail

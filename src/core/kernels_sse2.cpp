@@ -1,0 +1,47 @@
+// SSE2 kernel flavours.  Compiled with -msse2 (baseline on x86-64) and
+// -ffp-contract=off; on targets without SSE2 the factory compiles to a
+// stub and the dispatcher never offers this ISA.
+#include "core/kernels_detail.hpp"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include "core/kernels_impl.hpp"
+
+namespace {
+
+struct VecSse2 {
+  using reg = __m128d;
+  static constexpr int width = 2;
+  static reg load(const double* p) { return _mm_loadu_pd(p); }
+  static void store(double* p, reg v) { _mm_storeu_pd(p, v); }
+  static reg broadcast(double c) { return _mm_set1_pd(c); }
+  static reg mul(reg a, reg b) { return _mm_mul_pd(a, b); }
+  static reg fmadd(reg a, reg b, reg acc) {
+    return _mm_add_pd(_mm_mul_pd(a, b), acc);
+  }
+};
+
+}  // namespace
+
+namespace nustencil::core::detail {
+
+KernelFn sse2_kernel(int ntaps, bool banded, KernelVariant variant) {
+  return kernel_impl::pick_kernel<VecSse2>(ntaps, banded, variant);
+}
+
+bool sse2_compiled() { return true; }
+
+}  // namespace nustencil::core::detail
+
+#else  // !__SSE2__
+
+namespace nustencil::core::detail {
+
+KernelFn sse2_kernel(int, bool, KernelVariant) { return nullptr; }
+bool sse2_compiled() { return false; }
+
+}  // namespace nustencil::core::detail
+
+#endif

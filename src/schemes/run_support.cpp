@@ -29,8 +29,10 @@ RunSupport::RunSupport(core::Problem& problem, const RunConfig& config)
   instr.traffic = recorder_ ? &*recorder_ : nullptr;
   instr.checker = checker_ ? &*checker_ : nullptr;
   instr.cache_sim = config.cache_sim;
+  const core::KernelPolicy policy =
+      config.use_simd ? config.kernel : core::KernelPolicy::Scalar;
   for (int tid = 0; tid < config.num_threads; ++tid)
-    executors_.push_back(std::make_unique<core::Executor>(problem, instr, config.use_simd));
+    executors_.push_back(std::make_unique<core::Executor>(problem, instr, policy));
 
   team_ = std::make_unique<threading::Team>(config.num_threads, config.pin_threads);
 }

@@ -14,6 +14,7 @@
 #include "cachesim/shared.hpp"
 #include "core/boundary.hpp"
 #include "core/field.hpp"
+#include "core/kernels.hpp"
 #include "numa/traffic.hpp"
 #include "topology/machine.hpp"
 
@@ -32,6 +33,11 @@ struct RunConfig {
   bool check_dependencies = false;
 
   bool use_simd = true;
+
+  /// Row-kernel variant selection (see core/kernels.hpp).  Auto picks
+  /// the widest ISA the host supports with a tap-specialized kernel;
+  /// `use_simd = false` forces Scalar regardless of this policy.
+  core::KernelPolicy kernel = core::KernelPolicy::Auto;
 
   /// Pin worker threads to host cores (harmless no-op on small hosts).
   bool pin_threads = false;

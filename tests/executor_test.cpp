@@ -63,14 +63,76 @@ TEST(Executor, SimdMatchesScalarExactly) {
     Problem b(Coord{33, 7, 5}, st);
     a.initialize();
     b.initialize();
-    Executor ea(a, {}, /*use_simd=*/true);
-    Executor eb(b, {}, /*use_simd=*/false);
+    Executor ea(a, {}, KernelPolicy::Auto);
+    Executor eb(b, {}, KernelPolicy::Scalar);
     for (long t = 0; t < 3; ++t) {
       ea.update_box(whole(a.shape()), t, 0);
       eb.update_box(whole(b.shape()), t, 0);
     }
     EXPECT_LE(max_rel_diff(a.buffer(3), b.buffer(3)), 1e-15) << "banded=" << banded;
   }
+}
+
+TEST(RowSplit, DisjointAndCoversEverySegment) {
+  // Every (a, b) segment of every domain width, stencil orders 1..4:
+  // the three ranges must be ordered, disjoint, and cover [a, b) exactly
+  // once — including tiny domains with nx < 2*order, where the old split
+  // double-computed the overlap of the two boundary ranges.
+  for (Index nx = 1; nx <= 12; ++nx)
+    for (int s = 1; s <= 4; ++s)
+      for (Index a = 0; a < nx; ++a)
+        for (Index b = a; b <= nx; ++b) {
+          const RowSplit r = compute_row_split(a, b, nx, s);
+          ASSERT_LE(r.lo0, r.lo1);
+          ASSERT_LE(r.lo1, r.fast0);
+          ASSERT_LE(r.fast0, r.fast1);
+          ASSERT_LE(r.fast1, r.hi0);
+          ASSERT_LE(r.hi0, r.hi1);
+          const Index covered =
+              (r.lo1 - r.lo0) + (r.fast1 - r.fast0) + (r.hi1 - r.hi0);
+          ASSERT_EQ(covered, b - a) << "a=" << a << " b=" << b << " nx=" << nx
+                                    << " s=" << s;
+          ASSERT_EQ(r.lo0, a);
+          ASSERT_EQ(r.hi1, b);
+          // Fast cells must be at least `s` away from both edges.
+          if (r.fast0 < r.fast1) {
+            ASSERT_GE(r.fast0, s);
+            ASSERT_LE(r.fast1, nx - s);
+          }
+        }
+}
+
+TEST(Executor, TinyDomainMatchesBruteForce) {
+  // Smallest legal domain (nx = 2*order + 1, Problem forbids anything
+  // smaller): the boundary ranges leave a single interior column; every
+  // cell must match a hand-rolled pmod sweep.  Domains below 2*order —
+  // where the old split double-computed the overlap — are covered by the
+  // exhaustive RowSplit test above.
+  const StencilSpec st = StencilSpec::stable_star(3, 2);
+  Problem p(Coord{5, 5, 5}, st);
+  p.initialize();
+  const std::vector<double> before(p.buffer(0).data(),
+                                   p.buffer(0).data() + p.volume());
+  Executor e(p);
+  EXPECT_EQ(e.update_box(whole(p.shape()), 0, 0), 125);
+  auto at = [&](Index x, Index y, Index z) {
+    return before[static_cast<std::size_t>(pmod(x, 5) + 5 * (pmod(y, 5) + 5 * pmod(z, 5)))];
+  };
+  const auto& pts = st.points();
+  const auto& cs = st.coeffs();
+  for (Index z = 0; z < 5; ++z)
+    for (Index y = 0; y < 5; ++y)
+      for (Index x = 0; x < 5; ++x) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < pts.size(); ++k) {
+          Index xx = x, yy = y, zz = z;
+          if (pts[k].dim == 0) xx += pts[k].offset;
+          if (pts[k].dim == 1) yy += pts[k].offset;
+          if (pts[k].dim == 2) zz += pts[k].offset;
+          acc += cs[k] * at(xx, yy, zz);
+        }
+        EXPECT_NEAR(p.buffer(1).at(Coord{x, y, z}), acc, 1e-15);
+      }
 }
 
 TEST(Executor, PeriodicWrapIsExact) {

@@ -1,0 +1,233 @@
+// Kernel engine: policy parsing, CPUID-driven selection, and the
+// bit-exactness contract — every kernel variant the host supports
+// (scalar/SSE2/AVX2, specialized and generic, constant and banded,
+// orders 1-3) must produce bitwise-identical results to the scalar
+// reference on randomized domains, including the periodic wrap columns.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/kernels.hpp"
+#include "core/reference.hpp"
+
+namespace nustencil::core {
+namespace {
+
+Box whole(const Coord& shape) {
+  Box b;
+  b.lo = Coord::filled(shape.rank(), 0);
+  b.hi = shape;
+  return b;
+}
+
+/// Every policy that resolves to a distinct runnable variant on this host.
+std::vector<KernelPolicy> host_policies() {
+  std::vector<KernelPolicy> ps{KernelPolicy::Scalar};
+  if (kernel_isa_supported(KernelIsa::SSE2)) ps.push_back(KernelPolicy::SSE2);
+  if (kernel_isa_supported(KernelIsa::AVX2)) ps.push_back(KernelPolicy::AVX2);
+  ps.push_back(KernelPolicy::GenericSimd);
+  ps.push_back(KernelPolicy::Auto);
+  return ps;
+}
+
+std::vector<double> run_with_policy(const Coord& shape, const StencilSpec& st,
+                                    KernelPolicy policy, long steps,
+                                    unsigned seed) {
+  Problem p(shape, st);
+  p.initialize(seed);
+  Executor e(p, {}, policy);
+  for (long t = 0; t < steps; ++t) e.update_box(whole(shape), t, 0);
+  const double* d = p.buffer(steps).data();
+  return std::vector<double>(d, d + p.volume());
+}
+
+bool bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+TEST(KernelDispatch, PolicyParsingRoundTrips) {
+  for (KernelPolicy p :
+       {KernelPolicy::Auto, KernelPolicy::Scalar, KernelPolicy::SSE2,
+        KernelPolicy::AVX2, KernelPolicy::FMA, KernelPolicy::GenericSimd})
+    EXPECT_EQ(parse_kernel_policy(to_string(p)), p);
+  EXPECT_THROW(parse_kernel_policy("avx512"), Error);
+  EXPECT_THROW(parse_kernel_policy(""), Error);
+}
+
+TEST(KernelDispatch, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(kernel_isa_compiled(KernelIsa::Scalar));
+  EXPECT_TRUE(kernel_isa_supported(KernelIsa::Scalar));
+  const KernelChoice c = select_kernel(KernelPolicy::Scalar, 7, false);
+  EXPECT_EQ(c.isa, KernelIsa::Scalar);
+  EXPECT_NE(c.fn, nullptr);
+}
+
+TEST(KernelDispatch, SpecializationKeyedOnTapCount) {
+  for (int ntaps : {7, 13, 19}) EXPECT_TRUE(kernel_has_specialization(ntaps));
+  for (int ntaps : {3, 5, 9, 11, 25}) EXPECT_FALSE(kernel_has_specialization(ntaps));
+  EXPECT_TRUE(select_kernel(KernelPolicy::Auto, 7, false).specialized());
+  EXPECT_FALSE(select_kernel(KernelPolicy::Auto, 9, false).specialized());
+  const KernelChoice legacy = select_kernel(KernelPolicy::GenericSimd, 7, false);
+  EXPECT_FALSE(legacy.specialized());
+  EXPECT_EQ(legacy.variant, KernelVariant::Legacy);
+}
+
+TEST(KernelDispatch, ChoiceNamesAreDescriptive) {
+  const KernelChoice c = select_kernel(KernelPolicy::Scalar, 7, true);
+  EXPECT_NE(c.name().find("scalar"), std::string::npos);
+  EXPECT_NE(c.name().find("7pt"), std::string::npos);
+  EXPECT_NE(c.name().find("banded"), std::string::npos);
+  const KernelChoice g = select_kernel(KernelPolicy::Auto, 9, false);
+  EXPECT_NE(g.name().find("generic"), std::string::npos);
+  const KernelChoice l = select_kernel(KernelPolicy::GenericSimd, 9, false);
+  EXPECT_NE(l.name().find("legacy"), std::string::npos);
+}
+
+TEST(KernelDispatch, AutoNeverDowngradesBelowForcedScalar) {
+  // Auto must resolve to a compiled, host-supported ISA and a non-null fn.
+  const KernelChoice c = select_kernel(KernelPolicy::Auto, 13, false);
+  EXPECT_NE(c.fn, nullptr);
+  EXPECT_TRUE(kernel_isa_supported(c.isa));
+}
+
+TEST(KernelDispatch, ExplainMentionsPolicyAndKernel) {
+  const std::string text =
+      explain_kernel_choice(KernelPolicy::Auto, 7, false);
+  EXPECT_NE(text.find("policy"), std::string::npos);
+  EXPECT_NE(text.find("auto"), std::string::npos);
+  EXPECT_NE(text.find("selected kernel"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+}
+
+TEST(KernelDispatch, EveryVariantBitIdenticalToScalar) {
+  // Full-domain sweeps (periodic wrap columns included) on randomized
+  // data: odd x extents exercise the vector tails, the {3,3,3} shape the
+  // tiny-domain boundary split.  Tap counts covered: 3D orders 1..3 hit
+  // the 7/13/19-point specializations; the 2D and 1D shapes hit the
+  // generic runtime-taps kernels.
+  struct Case {
+    Coord shape;
+    int order;
+  };
+  const std::vector<Case> cases = {
+      {Coord{33, 7, 5}, 1},  {Coord{29, 6, 5}, 2}, {Coord{27, 7, 7}, 3},
+      {Coord{21, 9}, 1},     {Coord{19, 8}, 2},    {Coord{37}, 1},
+      {Coord{5, 5, 5}, 2},  // smallest legal domain: 1-wide fast range
+  };
+  for (const Case& c : cases) {
+    for (const bool banded : {false, true}) {
+      const StencilSpec st = banded
+                                 ? StencilSpec::banded_star(c.shape.rank(), c.order)
+                                 : StencilSpec::stable_star(c.shape.rank(), c.order);
+      const std::vector<double> ref =
+          run_with_policy(c.shape, st, KernelPolicy::Scalar, 3, 1234);
+      for (KernelPolicy policy : host_policies()) {
+        const std::vector<double> got =
+            run_with_policy(c.shape, st, policy, 3, 1234);
+        EXPECT_TRUE(bitwise_equal(ref, got))
+            << "policy=" << to_string(policy) << " shape=" << c.shape
+            << " order=" << c.order << " banded=" << banded;
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, SpecializedMatchesGenericRowKernels) {
+  // Direct row harness: for every supported ISA and tap count with a
+  // specialization, the unrolled kernel must agree bitwise with the
+  // generic runtime-taps kernel on the same inputs, over full rows and
+  // unaligned subranges (vector tails).
+  std::vector<KernelIsa> isas{KernelIsa::Scalar};
+  if (kernel_isa_supported(KernelIsa::SSE2)) isas.push_back(KernelIsa::SSE2);
+  if (kernel_isa_supported(KernelIsa::AVX2)) isas.push_back(KernelIsa::AVX2);
+
+  const Index nx = 41;
+  const Index margin = 64;
+  for (int ntaps : {7, 13, 19}) {
+    std::vector<double> src(static_cast<std::size_t>(nx + 2 * margin));
+    for (std::size_t i = 0; i < src.size(); ++i)
+      src[i] = initial_value(static_cast<Index>(i), 7);
+    std::vector<double> coeffs(static_cast<std::size_t>(ntaps));
+    std::vector<Index> bases(static_cast<std::size_t>(ntaps));
+    std::vector<std::vector<double>> bands(static_cast<std::size_t>(ntaps));
+    std::vector<const double*> bandp(static_cast<std::size_t>(ntaps));
+    for (int p = 0; p < ntaps; ++p) {
+      coeffs[static_cast<std::size_t>(p)] = initial_value(p, 21);
+      bases[static_cast<std::size_t>(p)] = margin + (p % 2 ? p : -p);
+      bands[static_cast<std::size_t>(p)].resize(static_cast<std::size_t>(nx));
+      for (Index x = 0; x < nx; ++x)
+        bands[static_cast<std::size_t>(p)][static_cast<std::size_t>(x)] =
+            initial_value(p * nx + x, 5);
+      bandp[static_cast<std::size_t>(p)] = bands[static_cast<std::size_t>(p)].data();
+    }
+
+    for (KernelIsa isa : isas) {
+      for (const bool banded : {false, true}) {
+        const KernelChoice spec = select_kernel_isa(isa, false, ntaps, banded);
+        const KernelChoice gen = select_kernel_isa(isa, false, ntaps, banded,
+                                                   KernelVariant::Generic);
+        const KernelChoice leg = select_kernel_isa(isa, false, ntaps, banded,
+                                                   KernelVariant::Legacy);
+        ASSERT_TRUE(spec.specialized());
+        ASSERT_EQ(gen.variant, KernelVariant::Generic);
+        ASSERT_EQ(leg.variant, KernelVariant::Legacy);
+        for (const auto& [x0, x1] : std::vector<std::pair<Index, Index>>{
+                 {0, nx}, {1, nx - 2}, {5, 9}, {3, 3}}) {
+          std::vector<double> d1(static_cast<std::size_t>(nx), -1.0);
+          std::vector<double> d2(static_cast<std::size_t>(nx), -1.0);
+          std::vector<double> d3(static_cast<std::size_t>(nx), -1.0);
+          KernelArgs ka;
+          ka.src = src.data();
+          ka.coeffs = coeffs.data();
+          ka.bands = bandp.data();
+          ka.ntaps = ntaps;
+          ka.dst = d1.data();
+          spec.fn(ka, bases.data(), 0, x0, x1);
+          ka.dst = d2.data();
+          gen.fn(ka, bases.data(), 0, x0, x1);
+          ka.dst = d3.data();
+          leg.fn(ka, bases.data(), 0, x0, x1);
+          EXPECT_TRUE(bitwise_equal(d1, d2) && bitwise_equal(d1, d3))
+              << "isa=" << to_string(isa) << " ntaps=" << ntaps
+              << " banded=" << banded << " x0=" << x0 << " x1=" << x1;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, FmaVariantIsCloseButOptIn) {
+  if (!(kernel_isa_supported(KernelIsa::AVX2) && CpuFeatures::host().fma))
+    GTEST_SKIP() << "host has no AVX2+FMA";
+  const KernelChoice c = select_kernel(KernelPolicy::FMA, 7, false);
+  EXPECT_TRUE(c.fma);
+  const Coord shape{32, 8, 8};
+  const StencilSpec st = StencilSpec::paper_3d7p();
+  const std::vector<double> ref =
+      run_with_policy(shape, st, KernelPolicy::Scalar, 3, 99);
+  const std::vector<double> fma =
+      run_with_policy(shape, st, KernelPolicy::FMA, 3, 99);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    worst = std::max(worst, std::abs(ref[i] - fma[i]) /
+                                std::max(1.0, std::abs(ref[i])));
+  EXPECT_LE(worst, 1e-13);  // contracted, so close but not necessarily equal
+}
+
+TEST(KernelDispatch, ExecutorReportsItsKernel) {
+  Problem p(Coord{16, 4, 4}, StencilSpec::paper_3d7p());
+  p.initialize();
+  Executor e(p, {}, KernelPolicy::Scalar);
+  EXPECT_EQ(e.kernel().isa, KernelIsa::Scalar);
+  EXPECT_TRUE(e.kernel().specialized());
+  EXPECT_EQ(e.kernel().ntaps, 7);
+}
+
+}  // namespace
+}  // namespace nustencil::core

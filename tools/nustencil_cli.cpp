@@ -111,6 +111,10 @@ int main(int argc, char** argv) try {
                   "xeon");
   args.add_option("seed", "deterministic initial-condition seed", "42");
   args.add_option("csv", "append results as CSV to this file", "");
+  args.add_option("kernel",
+                  "row-kernel policy: auto, scalar, sse2, avx2, fma (not "
+                  "bit-exact), or generic (runtime-taps baseline)",
+                  "auto");
   args.add_flag("banded", "variable coefficients (7-band matrix for s=1)");
   args.add_flag("dirichlet", "Dirichlet boundaries in every dimension");
   args.add_flag("instrument", "measure NUMA locality under --machine's topology");
@@ -136,10 +140,16 @@ int main(int argc, char** argv) try {
   const topology::MachineSpec* machine =
       machine_by_name(args.get("machine"), machine_storage);
 
+  const core::KernelPolicy kernel_policy =
+      args.get_flag("no-simd") ? core::KernelPolicy::Scalar
+                               : core::parse_kernel_policy(args.get("kernel"));
+
   if (args.get_flag("explain")) {
     std::cout << schemes::describe_plan(args.get("scheme"), shape, stencil, *machine,
                                         thread_counts.front(),
-                                        args.get_long("steps"));
+                                        args.get_long("steps"))
+              << core::explain_kernel_choice(kernel_policy, stencil.npoints(),
+                                             stencil.banded());
     return 0;
   }
 
@@ -157,6 +167,7 @@ int main(int argc, char** argv) try {
     cfg.instrument = args.get_flag("instrument");
     cfg.check_dependencies = args.get_flag("check");
     cfg.use_simd = !args.get_flag("no-simd");
+    cfg.kernel = kernel_policy;
     cfg.pin_threads = args.get_flag("pin");
     cfg.machine = machine;
     cfg.seed = static_cast<unsigned>(args.get_long("seed"));
