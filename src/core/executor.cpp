@@ -50,6 +50,11 @@ Index Executor::update_box(const Box& box, long t, int tid) {
   if (box.empty()) return 0;
   const int rank = problem_->shape().rank();
   NUSTENCIL_DCHECK(box.rank() == rank, "update_box: rank mismatch");
+  const trace::ScopedSpan span(
+      trace_, trace::Phase::Tile,
+      {static_cast<std::int32_t>(box.lo[0]),
+       static_cast<std::int32_t>(rank >= 2 ? box.lo[1] : -1),
+       static_cast<std::int32_t>(rank >= 3 ? box.lo[2] : -1), tid});
 
   const Index lo0 = box.lo[0], hi0 = box.hi[0];
   const Index lo1 = rank >= 2 ? box.lo[1] : 0, hi1 = rank >= 2 ? box.hi[1] : 1;
@@ -271,6 +276,11 @@ void Executor::account_row(const RowPlan& plan, long t, int tid) {
 
 void Executor::first_touch_box(const Box& box, int node, unsigned seed) {
   if (box.empty()) return;
+  const trace::ScopedSpan span(trace_, trace::Phase::Init,
+                               {static_cast<std::int32_t>(box.lo[0]),
+                                static_cast<std::int32_t>(box.rank() >= 2 ? box.lo[1] : -1),
+                                static_cast<std::int32_t>(box.rank() >= 3 ? box.lo[2] : -1),
+                                node});
   const int rank = problem_->shape().rank();
   const Index lo0 = box.lo[0], hi0 = box.hi[0];
   const Index lo1 = rank >= 2 ? box.lo[1] : 0, hi1 = rank >= 2 ? box.hi[1] : 1;

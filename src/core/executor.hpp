@@ -18,6 +18,7 @@
 #include "core/field.hpp"
 #include "core/kernels.hpp"
 #include "numa/traffic.hpp"
+#include "trace/trace.hpp"
 
 namespace nustencil::core {
 
@@ -67,6 +68,13 @@ class Executor {
   const Problem& problem() const { return *problem_; }
   Index updates_done() const { return updates_; }
 
+  /// Attaches the owning thread's span recorder: update_box then records
+  /// a `tile` span (box origin + executing thread in the args) and
+  /// first_touch_box an `init` span.  Null (the default) disables both at
+  /// the cost of a single branch per call.
+  void set_trace(trace::ThreadRecorder* rec) { trace_ = rec; }
+  trace::ThreadRecorder* trace() const { return trace_; }
+
   /// The kernel variant this executor dispatches interior rows to.
   const KernelChoice& kernel() const { return kernel_; }
 
@@ -78,6 +86,7 @@ class Executor {
   Problem* problem_;
   Instrumentation instr_;
   KernelChoice kernel_;
+  trace::ThreadRecorder* trace_ = nullptr;
   Index updates_ = 0;
 
   // Per-problem invariants hoisted out of the row path.

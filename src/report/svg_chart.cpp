@@ -152,4 +152,97 @@ void write_svg(const ChartSpec& spec, const std::string& path) {
   NUSTENCIL_CHECK(out.good(), "write_svg: write failed for " + path);
 }
 
+std::string render_timeline_svg(const TimelineSpec& spec) {
+  NUSTENCIL_CHECK(!spec.track_labels.empty(),
+                  "render_timeline_svg: need at least one track");
+  for (const TimelineSpan& s : spec.spans) {
+    NUSTENCIL_CHECK(s.track >= 0 &&
+                        s.track < static_cast<int>(spec.track_labels.size()),
+                    "render_timeline_svg: span track out of range");
+    NUSTENCIL_CHECK(s.cls >= 0 &&
+                        s.cls < static_cast<int>(spec.class_labels.size()),
+                    "render_timeline_svg: span class out of range");
+  }
+
+  double t_end = spec.t_end;
+  for (const TimelineSpan& s : spec.spans) t_end = std::max(t_end, s.t1);
+  if (t_end <= 0.0) t_end = 1.0;
+
+  const int ntracks = static_cast<int>(spec.track_labels.size());
+  const double ml = 90, mr = 170, mt = 46, mb = 50;
+  const double th = spec.track_height;
+  const double w = spec.width;
+  const double pw = w - ml - mr;
+  const double ph = th * ntracks;
+  const double h = mt + ph + mb;
+
+  const auto xpos = [&](double t) { return ml + pw * t / t_end; };
+
+  std::ostringstream os;
+  os << "<svg xmlns='http://www.w3.org/2000/svg' width='" << w << "' height='" << h
+     << "' viewBox='0 0 " << w << ' ' << h << "'>\n";
+  os << "<rect width='100%' height='100%' fill='white'/>\n";
+  os << "<text x='" << ml + pw / 2 << "' y='24' text-anchor='middle' "
+        "font-family='sans-serif' font-size='15'>"
+     << escape(spec.title) << "</text>\n";
+
+  // Track lanes + labels.
+  for (int k = 0; k < ntracks; ++k) {
+    const double y = mt + th * k;
+    os << "<rect x='" << ml << "' y='" << y << "' width='" << pw << "' height='"
+       << th << "' fill='" << (k % 2 ? "#f6f6f6" : "#fdfdfd") << "'/>\n";
+    os << "<text x='" << ml - 8 << "' y='" << y + th / 2 + 4
+       << "' text-anchor='end' font-family='sans-serif' font-size='11'>"
+       << escape(spec.track_labels[static_cast<std::size_t>(k)]) << "</text>\n";
+  }
+
+  // Spans (in input order: structural spans first draw underneath).
+  for (const TimelineSpan& s : spec.spans) {
+    const double x0 = xpos(std::max(0.0, s.t0));
+    const double x1 = xpos(std::min(t_end, s.t1));
+    // Keep even sub-pixel spans visible: Perfetto does the same.
+    const double wpx = std::max(0.4, x1 - x0);
+    const double y = mt + th * s.track + 3;
+    os << "<rect x='" << x0 << "' y='" << y << "' width='" << wpx
+       << "' height='" << th - 6 << "' fill='"
+       << kPalette[static_cast<std::size_t>(s.cls) % kPaletteSize] << "'/>\n";
+  }
+
+  // Time axis.
+  const double step = nice_step(t_end, 8);
+  for (double t = 0.0; t <= t_end + 1e-12; t += step) {
+    const double x = xpos(t);
+    os << "<line x1='" << x << "' y1='" << mt + ph << "' x2='" << x << "' y2='"
+       << mt + ph + 5 << "' stroke='black'/>\n";
+    os << "<text x='" << x << "' y='" << mt + ph + 20
+       << "' text-anchor='middle' font-family='sans-serif' font-size='11'>"
+       << fmt(t) << "</text>\n";
+  }
+  os << "<line x1='" << ml << "' y1='" << mt + ph << "' x2='" << ml + pw
+     << "' y2='" << mt + ph << "' stroke='black'/>\n";
+  os << "<text x='" << ml + pw / 2 << "' y='" << h - 10
+     << "' text-anchor='middle' font-family='sans-serif' font-size='12'>"
+     << escape(spec.x_label) << "</text>\n";
+
+  // Legend.
+  for (std::size_t k = 0; k < spec.class_labels.size(); ++k) {
+    const double ly = mt + 10 + static_cast<double>(k) * 18;
+    os << "<rect x='" << ml + pw + 14 << "' y='" << ly - 9
+       << "' width='24' height='12' fill='" << kPalette[k % kPaletteSize]
+       << "'/>\n";
+    os << "<text x='" << ml + pw + 44 << "' y='" << ly + 2
+       << "' font-family='sans-serif' font-size='12'>"
+       << escape(spec.class_labels[k]) << "</text>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+void write_timeline_svg(const TimelineSpec& spec, const std::string& path) {
+  std::ofstream out(path);
+  NUSTENCIL_CHECK(out.good(), "write_timeline_svg: cannot open " + path);
+  out << render_timeline_svg(spec);
+  NUSTENCIL_CHECK(out.good(), "write_timeline_svg: write failed for " + path);
+}
+
 }  // namespace nustencil::report

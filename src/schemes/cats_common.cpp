@@ -160,12 +160,20 @@ RunResult run_cats_like(const std::string& scheme_name, bool numa_aware,
   Timer timer;
   sup.run_workers([&](int tid) {
     core::Executor& exec = sup.executor(tid);
+    trace::ThreadRecorder* rec = sup.recorder(tid);
+    const auto owner_tid = [&](int tile) {
+      return plan.owner[static_cast<std::size_t>(tile)];
+    };
     std::vector<int> mine;
     for (int i = 0; i < ntiles; ++i)
-      if (plan.owner[static_cast<std::size_t>(i)] == tid) mine.push_back(i);
+      if (owner_tid(i) == tid) mine.push_back(i);
 
     for (long tb = 0; tb < config.timesteps; tb += tc_max) {
       const long tc = std::min<long>(tc_max, config.timesteps - tb);
+      const trace::ScopedSpan layer_span(
+          rec, trace::Phase::Layer,
+          {static_cast<std::int32_t>(tb / tc_max), static_cast<std::int32_t>(tb),
+           static_cast<std::int32_t>(tc)});
       const Index p_end = zhi + (tc - 1) * s;  // exclusive
       for (Index p = zlo; p < p_end; ++p) {
         const long code_base = (p - zlo) * tc_max;
@@ -179,14 +187,16 @@ RunResult run_cats_like(const std::string& scheme_name, bool numa_aware,
               const long need = (p - s - zlo + 1) * tc_max;
               const int left = zs * plan.tiles_y + (ty + plan.tiles_y - 1) % plan.tiles_y;
               const int right = zs * plan.tiles_y + (ty + 1) % plan.tiles_y;
-              if (plan.owner[static_cast<std::size_t>(left)] != tid)
-                progress[static_cast<std::size_t>(left)].wait_for(need, &sup.abort());
-              if (plan.owner[static_cast<std::size_t>(right)] != tid)
-                progress[static_cast<std::size_t>(right)].wait_for(need, &sup.abort());
+              if (owner_tid(left) != tid)
+                progress[static_cast<std::size_t>(left)].wait_for(
+                    need, &sup.abort(), rec, owner_tid(left));
+              if (owner_tid(right) != tid)
+                progress[static_cast<std::size_t>(right)].wait_for(
+                    need, &sup.abort(), rec, owner_tid(right));
             }
             if (plan.z_segments == 2) {
               const int other = (1 - zs) * plan.tiles_y + ty;
-              if (plan.owner[static_cast<std::size_t>(other)] != tid) {
+              if (owner_tid(other) != tid) {
                 if (zs == 1 && p - s - 1 >= zlo) {
                   // The upper segment's plane at (p, k) reads the lower
                   // segment's planes z-j (j = 1..s) of step k-1, which were
@@ -195,12 +205,13 @@ RunResult run_cats_like(const std::string& scheme_name, bool numa_aware,
                   // s = 1 this is the familiar p-2s bound; for higher
                   // orders p-2s alone is insufficient.)
                   progress[static_cast<std::size_t>(other)].wait_for(
-                      (p - s - zlo) * tc_max, &sup.abort());
+                      (p - s - zlo) * tc_max, &sup.abort(), rec, owner_tid(other));
                 }
                 if (zs == 0 && k > 0) {
                   // Lower segment's top planes read the upper segment's
                   // previous time level at the same position.
-                  progress[static_cast<std::size_t>(other)].wait_for(code_base + k, &sup.abort());
+                  progress[static_cast<std::size_t>(other)].wait_for(
+                      code_base + k, &sup.abort(), rec, owner_tid(other));
                 }
               }
             }
@@ -221,11 +232,11 @@ RunResult run_cats_like(const std::string& scheme_name, bool numa_aware,
           progress[static_cast<std::size_t>(i)].advance_to(code_base + tc_max);
       }
       // Chunk boundary: everyone synchronises, then tid 0 resets counters.
-      barrier.arrive_and_wait(&sup.abort());
+      barrier.arrive_and_wait(&sup.abort(), rec);
       if (tb + tc < config.timesteps) {
         if (tid == 0)
           for (auto& c : progress) c.reset();
-        barrier.arrive_and_wait(&sup.abort());
+        barrier.arrive_and_wait(&sup.abort(), rec);
       }
     }
   });

@@ -61,8 +61,10 @@ core::Box clip_box(const TileState& ts, int rank, Index dt) {
 /// Waits until the tile `nb` has completed, through time u, every base
 /// whose local part overlaps the producer region R (given per dimension in
 /// `nb`'s own virtual frame — the caller applies periodic wrap shifts).
+/// `nb_tile` only labels the recorded spin-wait spans with the producer.
 void wait_on_region(const core::Box& region, Index u, int rank, const TileState& nb,
-                    const threading::AbortToken& abort) {
+                    const threading::AbortToken& abort,
+                    trace::ThreadRecorder* rec, int nb_tile) {
   for (std::size_t k = 0; k < nb.bases.size(); ++k) {
     const SpaceTimeTile& nbase = nb.bases[k];
     if (u < nbase.t0 || u >= nbase.t1) continue;
@@ -74,7 +76,7 @@ void wait_on_region(const core::Box& region, Index u, int rank, const TileState&
       const Index hi = std::min({nbox.hi[e], clip_hi(nb, e, u), region.hi[e]});
       overlap = lo < hi;
     }
-    if (overlap) nb.progress[k].wait_for(u + 1, &abort);
+    if (overlap) nb.progress[k].wait_for(u + 1, &abort, rec, nb_tile);
   }
 }
 
@@ -91,7 +93,8 @@ void wait_on_region(const core::Box& region, Index u, int rank, const TileState&
 void wait_on_right_neighbors(const std::vector<TileState>& states, const TileState& mine,
                              const Coord& my_tc, const Coord& counts, const Coord& shape,
                              const SpaceTimeTile& base, Index t, int rank, int s,
-                             const threading::AbortToken& abort) {
+                             const threading::AbortToken& abort,
+                             trace::ThreadRecorder* rec) {
   if (t < 1) return;  // time-0 inputs come from the previous layer
   const Index u = t - 1;
   const core::Box bb = base.box_at(t);
@@ -144,7 +147,7 @@ void wait_on_right_neighbors(const std::vector<TileState>& states, const TileSta
       const int nb_tile = tile_index(counts, nb_tc);
       const TileState& nb = states[static_cast<std::size_t>(nb_tile)];
       if (&nb == &mine) continue;
-      wait_on_region(shifted, u, rank, nb, abort);
+      wait_on_region(shifted, u, rank, nb, abort, rec, nb_tile);
     }
   }
 }
@@ -213,6 +216,12 @@ RunResult run_corals_like(core::Problem& problem, const RunConfig& config,
   Timer timer;
   sup.run_workers([&](int tid) {
     core::Executor& exec = sup.executor(tid);
+    trace::ThreadRecorder* rec = sup.recorder(tid);
+    // The scheme records its own per-step tile spans below (they include
+    // the box/clip geometry between kernel calls, which is significant for
+    // cache-sized bases); suppress the executor's inner span so the time
+    // is not counted twice.
+    exec.set_trace(nullptr);
     const int my_tile = [&] {
       for (int i = 0; i < n; ++i)
         if (owner_of(i) == tid) return i;
@@ -223,46 +232,77 @@ RunResult run_corals_like(core::Problem& problem, const RunConfig& config,
 
     for (long tb = 0; tb < config.timesteps; tb += tau) {
       const long tau_act = std::min<long>(tau, config.timesteps - tb);
+      const trace::ScopedSpan layer_span(
+          rec, trace::Phase::Layer,
+          {static_cast<std::int32_t>(tb / tau), static_cast<std::int32_t>(tb),
+           static_cast<std::int32_t>(tau_act), my_tile});
 
-      // Build phase: thread parallelogram (clip) + root + bases + flags.
-      SpaceTimeTile root;
-      root.t0 = 0;
-      root.t1 = tau_act;
-      root.rank = rank;
-      for (int d = 0; d < rank; ++d) {
-        const bool decomposed = counts[d] > 1;
-        const Index lo = decomposed ? tile.lo[d] : 0;
-        const Index hi = decomposed ? tile.hi[d] : shape[d];
-        mine.clip[static_cast<std::size_t>(d)] = SkewedInterval{lo, hi, s, s};
-        root.dims[static_cast<std::size_t>(d)] =
-            SkewedInterval{lo, hi + 2 * s * (tau_act - 1), -s, -s};
+      {
+        // Build phase: thread parallelogram (clip) + root + bases + flags.
+        // Recorded as an init leaf — for deep layers the recursive base
+        // decomposition and flag allocation are a visible setup cost.
+        const trace::ScopedSpan build_span(
+            rec, trace::Phase::Init,
+            {static_cast<std::int32_t>(tb / tau), -1, -1, my_tile});
+        SpaceTimeTile root;
+        root.t0 = 0;
+        root.t1 = tau_act;
+        root.rank = rank;
+        for (int d = 0; d < rank; ++d) {
+          const bool decomposed = counts[d] > 1;
+          const Index lo = decomposed ? tile.lo[d] : 0;
+          const Index hi = decomposed ? tile.hi[d] : shape[d];
+          mine.clip[static_cast<std::size_t>(d)] = SkewedInterval{lo, hi, s, s};
+          root.dims[static_cast<std::size_t>(d)] =
+              SkewedInterval{lo, hi + 2 * s * (tau_act - 1), -s, -s};
+        }
+        mine.bases.clear();
+        core::decompose_parallelogram(root, base_sizes, mine.bases);
+        if (mine.progress_size < mine.bases.size()) {
+          mine.progress =
+              std::make_unique<threading::ProgressCounter[]>(mine.bases.size());
+          mine.progress_size = mine.bases.size();
+        }
+        for (std::size_t k = 0; k < mine.progress_size; ++k) mine.progress[k].reset();
       }
-      mine.bases.clear();
-      core::decompose_parallelogram(root, base_sizes, mine.bases);
-      if (mine.progress_size < mine.bases.size()) {
-        mine.progress =
-            std::make_unique<threading::ProgressCounter[]>(mine.bases.size());
-        mine.progress_size = mine.bases.size();
-      }
-      for (std::size_t k = 0; k < mine.progress_size; ++k) mine.progress[k].reset();
-      barrier.arrive_and_wait(&sup.abort());
+      barrier.arrive_and_wait(&sup.abort(), rec);
 
-      // Execution phase.
+      // Execution phase.  Tile spans chain end-to-start (one clock read
+      // per step) so the inter-step bookkeeping — neighbour progress scan,
+      // box/clip geometry, flag advance — is accounted as compute; spin
+      // waits nest inside the step span and their time is excluded from
+      // the tile total so the leaf phases still partition thread time.
       const Coord my_tc = tile_coord(counts, my_tile);
+      std::int64_t t_prev = rec ? rec->now_ns() : 0;
       for (std::size_t j = 0; j < mine.bases.size(); ++j) {
         const SpaceTimeTile& base = mine.bases[j];
+        const trace::ScopedSpan base_span(
+            rec, trace::Phase::Parallelogram,
+            {static_cast<std::int32_t>(j), static_cast<std::int32_t>(tb / tau),
+             -1, my_tile});
         // Compute the local clip of the base one time step at a time,
         // synchronising with the right neighbours (local synchronisation)
         // at every step whose inputs cross a thread boundary.
         for (Index t = base.t0; t < base.t1; ++t) {
+          const std::int64_t spin_before =
+              rec ? rec->total_ns(trace::Phase::SpinWait) : 0;
           wait_on_right_neighbors(states, mine, my_tc, counts, shape, base, t, rank, s,
-                                  sup.abort());
+                                  sup.abort(), rec);
           const core::Box box = intersect(base.box_at(t), clip_box(mine, rank, t));
           if (!box.empty()) exec.update_box(box, tb + t, tid);
           mine.progress[j].advance_to(t + 1);
+          if (rec) {
+            const std::int64_t end = rec->now_ns();
+            rec->record(trace::Phase::Tile, t_prev, end,
+                        {static_cast<std::int32_t>(box.lo[0]),
+                         rank >= 2 ? static_cast<std::int32_t>(box.lo[1]) : -1,
+                         rank >= 3 ? static_cast<std::int32_t>(box.lo[2]) : -1, tid},
+                        0, rec->total_ns(trace::Phase::SpinWait) - spin_before);
+            t_prev = end;
+          }
         }
       }
-      barrier.arrive_and_wait(&sup.abort());
+      barrier.arrive_and_wait(&sup.abort(), rec);
     }
   });
   const double seconds = timer.seconds();

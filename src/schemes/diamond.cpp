@@ -55,24 +55,30 @@ RunResult DiamondScheme::run(core::Problem& problem, const RunConfig& config) co
   Timer timer;
   sup.run_workers([&](int tid) {
     core::Executor& exec = sup.executor(tid);
+    trace::ThreadRecorder* rec = sup.recorder(tid);
     const Index lo = nd * tid / n, hi = nd * (tid + 1) / n;
     const int left = (tid + n - 1) % n;
     for (long tb = 0; tb < config.timesteps; tb += h) {
       const long hb = std::min<long>(h, config.timesteps - tb);
+      const trace::ScopedSpan layer_span(
+          rec, trace::Phase::Layer,
+          {static_cast<std::int32_t>(tb / h), static_cast<std::int32_t>(tb),
+           static_cast<std::int32_t>(hb)});
       for (long dt = 0; dt < hb; ++dt) {
         // Left-skewed tile: cells near the left edge read up to 2s into
         // the left neighbour's results of step dt-1.
-        if (dt > 0 && n > 1) progress[static_cast<std::size_t>(left)].wait_for(dt, &sup.abort());
+        if (dt > 0 && n > 1)
+          progress[static_cast<std::size_t>(left)].wait_for(dt, &sup.abort(), rec, left);
         core::Box box = domain;
         box.lo[d] = lo - s * dt;
         box.hi[d] = hi - s * dt;
         exec.update_box(box, tb + dt, tid);
         progress[static_cast<std::size_t>(tid)].advance_to(dt + 1);
       }
-      barrier.arrive_and_wait(&sup.abort());
+      barrier.arrive_and_wait(&sup.abort(), rec);
       if (tid == 0)
         for (auto& c : progress) c.reset();
-      barrier.arrive_and_wait(&sup.abort());
+      barrier.arrive_and_wait(&sup.abort(), rec);
     }
   });
   const double seconds = timer.seconds();

@@ -33,9 +33,10 @@ RunResult NaiveScheme::run(core::Problem& problem, const RunConfig& config) cons
   sup.run_workers([&](int tid) {
     const core::Box mine = intersect(tiles[static_cast<std::size_t>(tid)], updatable);
     core::Executor& exec = sup.executor(tid);
+    trace::ThreadRecorder* rec = sup.recorder(tid);
     for (long t = 0; t < config.timesteps; ++t) {
       exec.update_box(mine, t, tid);
-      barrier.arrive_and_wait(&sup.abort());
+      barrier.arrive_and_wait(&sup.abort(), rec);
     }
   });
   const double seconds = timer.seconds();

@@ -23,7 +23,7 @@ RedBlackResult run_redblack_smoother(core::Field& field,
                                      const core::StencilSpec& stencil,
                                      long iterations, int threads,
                                      const topology::MachineSpec* machine,
-                                     unsigned seed) {
+                                     unsigned seed, trace::Trace* trace) {
   NUSTENCIL_CHECK(threads >= 1, "run_redblack_smoother: need at least one thread");
   const Coord& shape = field.shape();
   core::Box domain;
@@ -47,8 +47,15 @@ RedBlackResult run_redblack_smoother(core::Field& field,
   threading::Barrier barrier(threads);
   core::RedBlackExecutor exec(field, stencil);
 
+  if (trace) trace->begin_run(threads);
+  const auto rec_of = [&](int tid) {
+    return trace ? trace->thread(tid) : nullptr;
+  };
+
   // Phase I: parallel first touch, row by row within each tile.
   team.run([&](int tid) {
+    const trace::ScopedSpan init_span(rec_of(tid), trace::Phase::Init,
+                                      {-1, -1, -1, tid});
     const core::Box& tile = tiles[static_cast<std::size_t>(tid)];
     const int rank = shape.rank();
     const Index lo1 = rank >= 2 ? tile.lo[1] : 0, hi1 = rank >= 2 ? tile.hi[1] : 1;
@@ -68,11 +75,17 @@ RedBlackResult run_redblack_smoother(core::Field& field,
   std::vector<Index> per_thread(static_cast<std::size_t>(threads), 0);
   Timer timer;
   team.run([&](int tid) {
+    trace::ThreadRecorder* rec = rec_of(tid);
     const core::Box& tile = tiles[static_cast<std::size_t>(tid)];
     for (long t = 0; t < iterations; ++t) {
       for (int color = 0; color < exec.num_colors(); ++color) {
-        per_thread[static_cast<std::size_t>(tid)] += exec.update_color(tile, color);
-        barrier.arrive_and_wait();
+        {
+          // One half-sweep = one tile span (colour in the first arg slot).
+          const trace::ScopedSpan sweep(rec, trace::Phase::Tile,
+                                        {color, static_cast<std::int32_t>(t), -1, tid});
+          per_thread[static_cast<std::size_t>(tid)] += exec.update_color(tile, color);
+        }
+        barrier.arrive_and_wait(nullptr, rec);
       }
       if (recorder) {
         // Account one tile-worth of touched bytes per iteration (both
@@ -98,6 +111,7 @@ RedBlackResult run_redblack_smoother(core::Field& field,
   result.seconds = timer.seconds();
   for (Index u : per_thread) result.updates += u;
   if (recorder) result.locality = recorder->collect().locality();
+  if (trace) result.phases = trace->breakdown();
   return result;
 }
 

@@ -16,16 +16,20 @@ struct RedBlackResult {
   double seconds = 0.0;
   Index updates = 0;
   double locality = 1.0;  ///< measured when machine != nullptr
+  trace::PhaseBreakdown phases;  ///< filled when a trace is attached
 };
 
 /// Runs `iterations` red-black sweeps in place over `field` (which must be
 /// uninitialised; each thread fills its own tile with Problem-compatible
 /// values for `seed`).  When `machine` is given, first-touch placement and
-/// traffic are measured against its virtual topology.
+/// traffic are measured against its virtual topology.  When `trace` is
+/// given, half-sweeps, barrier waits and the first-touch fill feed it
+/// typed spans and the result carries the phase breakdown.
 RedBlackResult run_redblack_smoother(core::Field& field,
                                      const core::StencilSpec& stencil,
                                      long iterations, int threads,
                                      const topology::MachineSpec* machine = nullptr,
-                                     unsigned seed = 42);
+                                     unsigned seed = 42,
+                                     trace::Trace* trace = nullptr);
 
 }  // namespace nustencil::schemes

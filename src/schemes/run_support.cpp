@@ -24,6 +24,14 @@ RunSupport::RunSupport(core::Problem& problem, const RunConfig& config)
   }
   if (config.check_dependencies) checker_.emplace(problem.volume());
 
+  if (config.trace) {
+    trace_ = config.trace;
+  } else if (config.collect_phase_metrics) {
+    own_trace_.emplace(/*events_per_thread=*/0);  // totals only, no events
+    trace_ = &*own_trace_;
+  }
+  if (trace_) trace_->begin_run(config.num_threads);
+
   core::Instrumentation instr;
   instr.pages = pages_ ? &*pages_ : nullptr;
   instr.traffic = recorder_ ? &*recorder_ : nullptr;
@@ -31,8 +39,10 @@ RunSupport::RunSupport(core::Problem& problem, const RunConfig& config)
   instr.cache_sim = config.cache_sim;
   const core::KernelPolicy policy =
       config.use_simd ? config.kernel : core::KernelPolicy::Scalar;
-  for (int tid = 0; tid < config.num_threads; ++tid)
+  for (int tid = 0; tid < config.num_threads; ++tid) {
     executors_.push_back(std::make_unique<core::Executor>(problem, instr, policy));
+    executors_.back()->set_trace(recorder(tid));
+  }
 
   team_ = std::make_unique<threading::Team>(config.num_threads, config.pin_threads);
 }
@@ -103,6 +113,7 @@ RunResult RunSupport::finish(const std::string& scheme_name, double seconds) {
   r.seconds = seconds;
   r.updates = total_updates();
   if (recorder_) r.traffic = recorder_->collect();
+  if (trace_) r.phases = trace_->breakdown();
   if (checker_) checker_->check_all_at(config_->timesteps);
   return r;
 }

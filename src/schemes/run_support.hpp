@@ -41,6 +41,12 @@ class RunSupport {
   /// Per-thread executor (one per worker; never shared between threads).
   core::Executor& executor(int tid) { return *executors_[static_cast<std::size_t>(tid)]; }
 
+  /// Span recorder of worker `tid`; nullptr when neither RunConfig::trace
+  /// nor collect_phase_metrics is set (every hook then costs one branch).
+  trace::ThreadRecorder* recorder(int tid) {
+    return trace_ ? trace_->thread(tid) : nullptr;
+  }
+
   /// NUMA node of worker `tid` under the virtual (fill-socket-first)
   /// placement of the instrumented machine; 0 when not instrumenting.
   int node_of_thread(int tid) const;
@@ -66,6 +72,8 @@ class RunSupport {
   core::Problem* problem_;
   const RunConfig* config_;
   const topology::MachineSpec* machine_;
+  std::optional<trace::Trace> own_trace_;  ///< metrics-only fallback recorder
+  trace::Trace* trace_ = nullptr;
   std::optional<numa::PageTable> pages_;
   std::optional<numa::VirtualTopology> topo_;
   std::optional<numa::TrafficRecorder> recorder_;

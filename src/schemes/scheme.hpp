@@ -17,6 +17,7 @@
 #include "core/kernels.hpp"
 #include "numa/traffic.hpp"
 #include "topology/machine.hpp"
+#include "trace/trace.hpp"
 
 namespace nustencil::schemes {
 
@@ -62,6 +63,17 @@ struct RunConfig {
   /// paper-scale domain under real 4 KiB pages.
   Index page_bytes = 4096;
 
+  /// Optional space-time execution trace: when set, the run begins a new
+  /// recording on it (begin_run) and every executor sweep, barrier wait,
+  /// spin-flag wait, first touch and layer boundary feeds it typed spans.
+  /// Null (the default) compiles every hook down to one branch.
+  trace::Trace* trace = nullptr;
+
+  /// Aggregate per-thread, per-phase wall-time totals into
+  /// RunResult.phases even without a full event trace (uses an internal
+  /// metrics-only recorder when `trace` is null).
+  bool collect_phase_metrics = false;
+
   unsigned seed = 42;
 };
 
@@ -73,6 +85,11 @@ struct RunResult {
   Index updates = 0;
   numa::TrafficStats traffic;           ///< empty unless instrumented
   std::map<std::string, double> details;  ///< scheme-specific parameters
+
+  /// Per-thread, per-phase wall-time totals (compute, barrier wait, spin
+  /// wait, init) plus the load-imbalance ratio; `phases.enabled` is false
+  /// unless RunConfig::trace or collect_phase_metrics was set.
+  trace::PhaseBreakdown phases;
 
   double gupdates_per_second() const {
     return seconds > 0 ? static_cast<double>(updates) / seconds * 1e-9 : 0.0;

@@ -60,8 +60,13 @@ RunResult TrapezoidScheme::run(core::Problem& problem, const RunConfig& config) 
   Timer timer;
   sup.run_workers([&](int tid) {
     core::Executor& exec = sup.executor(tid);
+    trace::ThreadRecorder* rec = sup.recorder(tid);
     for (long tb = 0; tb < config.timesteps; tb += h) {
       const long hb = std::min<long>(h, config.timesteps - tb);
+      const trace::ScopedSpan layer_span(
+          rec, trace::Phase::Layer,
+          {static_cast<std::int32_t>(tb / h), static_cast<std::int32_t>(tb),
+           static_cast<std::int32_t>(hb)});
       // Phase A: shrinking trapezoids [zi + s*dt, zi+1 - s*dt).
       for (int i = tid; i < k; i += n) {
         const Index lo = nd * i / k, hi = nd * (i + 1) / k;
@@ -72,7 +77,7 @@ RunResult TrapezoidScheme::run(core::Problem& problem, const RunConfig& config) 
           if (!box.empty()) exec.update_box(box, tb + dt, tid);
         }
       }
-      barrier.arrive_and_wait(&sup.abort());
+      barrier.arrive_and_wait(&sup.abort(), rec);
       // Phase B: expanding trapezoids [bi - s*dt, bi + s*dt) around each
       // tile boundary bi (the ring boundary included).
       for (int i = tid; i < k; i += n) {
@@ -84,7 +89,7 @@ RunResult TrapezoidScheme::run(core::Problem& problem, const RunConfig& config) 
           exec.update_box(box, tb + dt, tid);
         }
       }
-      barrier.arrive_and_wait(&sup.abort());
+      barrier.arrive_and_wait(&sup.abort(), rec);
     }
   });
   const double seconds = timer.seconds();

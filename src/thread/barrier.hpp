@@ -12,6 +12,7 @@
 
 #include "common/error.hpp"
 #include "thread/abort.hpp"
+#include "trace/trace.hpp"
 
 namespace nustencil::threading {
 
@@ -26,17 +27,26 @@ class Barrier {
 
   /// Blocks until all participants have arrived.  When `abort` is given
   /// and triggers, throws instead of spinning forever (the barrier is then
-  /// in teardown and must not be reused).
-  void arrive_and_wait(const AbortToken* abort = nullptr) {
+  /// in teardown and must not be reused).  When `rec` is given, every
+  /// participant that actually waits records a barrier-wait span with its
+  /// spin-iteration count (the releasing arrival records nothing); a null
+  /// recorder costs one branch.
+  void arrive_and_wait(const AbortToken* abort = nullptr,
+                       trace::ThreadRecorder* rec = nullptr) {
     const bool my_sense = !sense_.load(std::memory_order_relaxed);
     if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == participants_) {
       arrived_.store(0, std::memory_order_relaxed);
       sense_.store(my_sense, std::memory_order_release);
     } else {
+      const std::int64_t start = rec ? rec->now_ns() : 0;
+      std::uint64_t spins = 0;
       while (sense_.load(std::memory_order_acquire) != my_sense) {
+        ++spins;
         if (abort) abort->check();
         std::this_thread::yield();
       }
+      if (rec)
+        rec->record(trace::Phase::BarrierWait, start, rec->now_ns(), {}, spins);
     }
   }
 

@@ -17,6 +17,7 @@
 #include "common/aligned.hpp"
 #include "common/error.hpp"
 #include "thread/abort.hpp"
+#include "trace/trace.hpp"
 
 namespace nustencil::threading {
 
@@ -40,12 +41,23 @@ class FlagArray {
     return flags_[i].value.load(std::memory_order_acquire) != 0;
   }
 
-  /// Spin (with yield) until flag `i` is set; throws on abort.
-  void wait(std::size_t i, const AbortToken* abort = nullptr) const {
+  /// Spin (with yield) until flag `i` is set; throws on abort.  A
+  /// recorder, when given, receives a spinflag-wait span (flag index as
+  /// the target, `owner` = producing thread/tile) only when the flag was
+  /// not already set — the satisfied fast path stays clock-free.
+  void wait(std::size_t i, const AbortToken* abort = nullptr,
+            trace::ThreadRecorder* rec = nullptr, std::int32_t owner = -1) const {
+    if (test(i)) return;
+    const std::int64_t start = rec ? rec->now_ns() : 0;
+    std::uint64_t spins = 0;
     while (!test(i)) {
+      ++spins;
       if (abort) abort->check();
       std::this_thread::yield();
     }
+    if (rec)
+      rec->record(trace::Phase::SpinWait, start, rec->now_ns(),
+                  {static_cast<std::int32_t>(i), -1, -1, owner}, spins);
   }
 
   std::size_t size() const { return flags_.size(); }
@@ -73,12 +85,23 @@ class ProgressCounter {
   long current() const { return value_.load(std::memory_order_acquire); }
 
   /// Spin (with yield) until the counter reaches at least `v`; throws on
-  /// abort.
-  void wait_for(long v, const AbortToken* abort = nullptr) const {
+  /// abort.  A recorder, when given, receives a spinflag-wait span (wait
+  /// target `v`, `owner` = producing thread/tile) only when the counter
+  /// was not already there — the satisfied fast path stays clock-free.
+  void wait_for(long v, const AbortToken* abort = nullptr,
+                trace::ThreadRecorder* rec = nullptr,
+                std::int32_t owner = -1) const {
+    if (current() >= v) return;
+    const std::int64_t start = rec ? rec->now_ns() : 0;
+    std::uint64_t spins = 0;
     while (current() < v) {
+      ++spins;
       if (abort) abort->check();
       std::this_thread::yield();
     }
+    if (rec)
+      rec->record(trace::Phase::SpinWait, start, rec->now_ns(),
+                  {static_cast<std::int32_t>(v), -1, -1, owner}, spins);
   }
 
  private:

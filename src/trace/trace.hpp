@@ -1,0 +1,251 @@
+// Space-time execution tracing: per-thread event ring buffers plus exact
+// per-phase wall-time totals.
+//
+// The paper's argument is about *where time goes* — compute inside
+// cache-sized tiles vs waiting at global barriers and spin flags — so the
+// schemes and executors feed typed spans into one ThreadRecorder per
+// worker.  Each recorder is single-producer (only its own thread writes),
+// so recording is a plain store into a preallocated ring; collection
+// happens after the team has joined.  When no recorder is attached every
+// hook is a single null-pointer check, and the phase totals are
+// accumulated outside the ring, so they stay exact even when the ring
+// overflows and drops old events.
+//
+// The collector serializes the event stream as Chrome trace-event JSON
+// (one track per thread, loadable in Perfetto / chrome://tracing) and
+// aggregates the totals into a PhaseBreakdown for RunResult.phases.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nustencil::trace {
+
+/// Span taxonomy.  Leaf phases partition a thread's accounted time and
+/// feed the phase totals; structural phases (Layer, Parallelogram) group
+/// leaf spans for the timeline and are excluded from the totals so that
+/// nested spans are not double-counted.
+enum class Phase : std::uint8_t {
+  Init = 0,       ///< allocation + first-touch initialisation (leaf)
+  Tile,           ///< one Executor::update_box sweep (leaf, compute)
+  BarrierWait,    ///< spinning in Barrier::arrive_and_wait (leaf)
+  SpinWait,       ///< spinning on a FlagArray / ProgressCounter (leaf)
+  Parallelogram,  ///< one base parallelogram, CORALS family (structural)
+  Layer,          ///< one temporal layer / chunk between barriers (structural)
+  kCount
+};
+
+inline constexpr int kNumPhases = static_cast<int>(Phase::kCount);
+
+const char* phase_name(Phase p);
+
+/// Leaf phases are mutually exclusive in time on one thread; only they
+/// contribute to the per-phase totals.
+constexpr bool phase_is_leaf(Phase p) {
+  return p == Phase::Init || p == Phase::Tile || p == Phase::BarrierWait ||
+         p == Phase::SpinWait;
+}
+
+/// Small fixed argument set carried by every span.  The meaning depends
+/// on the phase (see the Chrome JSON writer): Tile uses a/b/c as the box
+/// origin and owner as the executing thread; SpinWait uses a as the wait
+/// target and owner as the producing tile/thread; Layer uses a as the
+/// layer index, b as the absolute start step and c as the layer height.
+struct SpanArgs {
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  std::int32_t c = -1;
+  std::int32_t owner = -1;
+};
+
+struct Event {
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  std::uint64_t spins = 0;  ///< spin-loop iterations (wait phases only)
+  SpanArgs args;
+  Phase phase = Phase::Tile;
+};
+
+/// Per-thread recorder: exact phase totals plus a fixed-capacity event
+/// ring (oldest events are overwritten on overflow; `dropped()` counts
+/// them).  All mutating members must be called from the owning thread
+/// only; readers run after the worker has joined.
+class ThreadRecorder {
+ public:
+  /// Nanoseconds since the owning Trace's epoch (monotonic clock).
+  std::int64_t now_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// `exclude_ns` is subtracted from the contribution to the phase total
+  /// (but not from the stored event): a caller whose span *contains*
+  /// other leaf spans — e.g. a tile span covering a spin wait — passes
+  /// the nested leaf time here so the totals still partition thread time,
+  /// while the timeline keeps the span's full extent for nesting.
+  void record(Phase phase, std::int64_t start_ns, std::int64_t end_ns,
+              SpanArgs args = {}, std::uint64_t spins = 0,
+              std::int64_t exclude_ns = 0) {
+    const auto i = static_cast<std::size_t>(phase);
+    total_ns_[i] += end_ns - start_ns - exclude_ns;
+    span_count_[i] += 1;
+    spin_count_[i] += spins;
+    if (capacity_ == 0) return;  // metrics-only mode: no event storage
+    Event& e = ring_[next_];
+    e.start_ns = start_ns;
+    e.end_ns = end_ns;
+    e.spins = spins;
+    e.args = args;
+    e.phase = phase;
+    next_ = (next_ + 1) % capacity_;
+    recorded_ += 1;
+  }
+
+  int tid() const { return tid_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Events still held by the ring, in chronological (insertion) order.
+  std::vector<Event> events() const;
+
+  /// Events recorded minus events still in the ring.
+  std::uint64_t dropped() const {
+    return recorded_ > capacity_ ? recorded_ - capacity_ : 0;
+  }
+
+  std::int64_t total_ns(Phase p) const {
+    return total_ns_[static_cast<std::size_t>(p)];
+  }
+  std::uint64_t span_count(Phase p) const {
+    return span_count_[static_cast<std::size_t>(p)];
+  }
+  std::uint64_t spin_count(Phase p) const {
+    return spin_count_[static_cast<std::size_t>(p)];
+  }
+
+ private:
+  friend class Trace;
+
+  std::chrono::steady_clock::time_point epoch_{};
+  int tid_ = 0;
+  std::vector<Event> ring_;
+  std::size_t capacity_ = 0;
+  std::size_t next_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::array<std::int64_t, kNumPhases> total_ns_{};
+  std::array<std::uint64_t, kNumPhases> span_count_{};
+  std::array<std::uint64_t, kNumPhases> spin_count_{};
+};
+
+/// RAII span: takes the start timestamp on construction and records on
+/// destruction.  A null recorder makes both ends a no-op, so call sites
+/// need no branches of their own.
+class ScopedSpan {
+ public:
+  ScopedSpan(ThreadRecorder* rec, Phase phase, SpanArgs args = {})
+      : rec_(rec), phase_(phase), args_(args) {
+    if (rec_) start_ns_ = rec_->now_ns();
+  }
+  ~ScopedSpan() {
+    if (rec_) rec_->record(phase_, start_ns_, rec_->now_ns(), args_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  ThreadRecorder* rec_;
+  Phase phase_;
+  SpanArgs args_;
+  std::int64_t start_ns_ = 0;
+};
+
+/// Aggregated per-thread, per-phase totals — the RunResult.phases payload.
+struct PhaseBreakdown {
+  struct Thread {
+    std::array<double, kNumPhases> seconds{};
+    std::array<std::uint64_t, kNumPhases> spans{};
+    std::uint64_t spins = 0;    ///< spin-loop iterations across wait phases
+    std::uint64_t dropped = 0;  ///< events lost to ring overflow
+
+    double init_s() const { return seconds[static_cast<std::size_t>(Phase::Init)]; }
+    double compute_s() const { return seconds[static_cast<std::size_t>(Phase::Tile)]; }
+    double barrier_wait_s() const {
+      return seconds[static_cast<std::size_t>(Phase::BarrierWait)];
+    }
+    double spin_wait_s() const {
+      return seconds[static_cast<std::size_t>(Phase::SpinWait)];
+    }
+    /// Time the thread was doing useful work (init + compute).
+    double busy_s() const { return init_s() + compute_s(); }
+    /// Total wall time covered by leaf spans.
+    double accounted_s() const {
+      return busy_s() + barrier_wait_s() + spin_wait_s();
+    }
+  };
+
+  bool enabled = false;
+  std::vector<Thread> threads;
+
+  /// Sum of one leaf phase over all threads, in seconds.
+  double total_s(Phase p) const;
+
+  /// Load imbalance: max over threads of busy time divided by the mean
+  /// (1.0 = perfectly balanced; 1.0 when empty or idle).
+  double imbalance() const;
+};
+
+/// The run-wide collector: one ThreadRecorder per worker, a common epoch,
+/// and the serializers.  Reusable across runs — begin_run() resets the
+/// recorders and the epoch for a new thread count.
+class Trace {
+ public:
+  static constexpr std::size_t kDefaultEventsPerThread = 1 << 16;
+
+  /// `events_per_thread` is the ring capacity; 0 keeps exact phase totals
+  /// but stores no events (metrics-only mode).
+  explicit Trace(std::size_t events_per_thread = kDefaultEventsPerThread)
+      : events_per_thread_(events_per_thread) {}
+
+  /// Prepares `num_threads` fresh recorders and restarts the clock epoch.
+  /// Must not be called while workers hold recorder pointers.
+  void begin_run(int num_threads);
+
+  /// Recorder of worker `tid`, or nullptr when tid is out of range (no
+  /// run began).  Pointers stay valid until the next begin_run().
+  ThreadRecorder* thread(int tid) {
+    return tid >= 0 && tid < static_cast<int>(threads_.size())
+               ? &threads_[static_cast<std::size_t>(tid)]
+               : nullptr;
+  }
+  const ThreadRecorder* thread(int tid) const {
+    return const_cast<Trace*>(this)->thread(tid);
+  }
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+  std::size_t events_per_thread() const { return events_per_thread_; }
+
+  /// Aggregates the recorders' totals (exact, unaffected by ring drops).
+  PhaseBreakdown breakdown() const;
+
+  /// Chrome trace-event JSON: one "X" (complete) event per span, one
+  /// track per thread, timestamps in microseconds since the run epoch.
+  /// Loadable in Perfetto and chrome://tracing.
+  void write_chrome_json(std::ostream& os) const;
+  void write_chrome_json_file(const std::string& path) const;
+
+ private:
+  std::size_t events_per_thread_;
+  std::vector<ThreadRecorder> threads_;
+};
+
+/// Human-readable observability configuration for `nustencil --explain`.
+std::string describe_observability(const std::string& trace_path,
+                                   const std::string& svg_path,
+                                   bool phase_metrics,
+                                   std::size_t events_per_thread);
+
+}  // namespace nustencil::trace

@@ -1,0 +1,37 @@
+#include "trace/trace_svg.hpp"
+
+namespace nustencil::trace {
+
+report::TimelineSpec timeline_spec(const Trace& trace, const std::string& title) {
+  report::TimelineSpec spec;
+  spec.title = title;
+  for (int p = 0; p < kNumPhases; ++p)
+    spec.class_labels.push_back(phase_name(static_cast<Phase>(p)));
+  double t_end = 0.0;
+  for (int tid = 0; tid < trace.num_threads(); ++tid) {
+    spec.track_labels.push_back("worker " + std::to_string(tid));
+    // Two passes: structural spans first so the leaf spans of the same
+    // thread are painted over them instead of being hidden.
+    for (const bool structural : {true, false}) {
+      for (const Event& e : trace.thread(tid)->events()) {
+        if (phase_is_leaf(e.phase) == structural) continue;
+        report::TimelineSpan span;
+        span.t0 = static_cast<double>(e.start_ns) * 1e-9;
+        span.t1 = static_cast<double>(e.end_ns) * 1e-9;
+        span.track = tid;
+        span.cls = static_cast<int>(e.phase);
+        spec.spans.push_back(span);
+        t_end = std::max(t_end, span.t1);
+      }
+    }
+  }
+  spec.t_end = t_end;
+  return spec;
+}
+
+void write_timeline_svg(const Trace& trace, const std::string& title,
+                        const std::string& path) {
+  report::write_timeline_svg(timeline_spec(trace, title), path);
+}
+
+}  // namespace nustencil::trace

@@ -1,0 +1,22 @@
+// Per-thread timeline rendering of a collected Trace, one track per
+// worker, coloured by phase — the at-a-glance version of the Chrome
+// trace for READMEs and CI artifacts.
+#pragma once
+
+#include <string>
+
+#include "report/svg_chart.hpp"
+#include "trace/trace.hpp"
+
+namespace nustencil::trace {
+
+/// Converts the trace's surviving events into a timeline spec (tracks =
+/// threads, classes = phases; structural spans are emitted first so leaf
+/// spans draw on top of them).
+report::TimelineSpec timeline_spec(const Trace& trace, const std::string& title);
+
+/// Renders and writes the timeline to `path` (throws Error on failure).
+void write_timeline_svg(const Trace& trace, const std::string& title,
+                        const std::string& path);
+
+}  // namespace nustencil::trace

@@ -215,5 +215,31 @@ TEST(MultiColor, ParallelMatchesSerialOrder2) {
     EXPECT_NEAR(parallel.data()[i], serial.data()[i], 1e-14);
 }
 
+TEST(RedBlackSmoother, TracedRunRecordsFillSweepsAndBarriers) {
+  const Coord shape{12, 10, 8};
+  const auto st = core::StencilSpec::paper_3d7p();
+  const int threads = 2;
+  const long iterations = 3;
+  core::Field field(shape);
+  trace::Trace trace;
+  const auto result = schemes::run_redblack_smoother(field, st, iterations, threads,
+                                                     nullptr, 42, &trace);
+  ASSERT_TRUE(result.phases.enabled);
+  ASSERT_EQ(result.phases.threads.size(), static_cast<std::size_t>(threads));
+  std::uint64_t barrier_spans = 0;
+  for (int tid = 0; tid < threads; ++tid) {
+    const trace::ThreadRecorder* rec = trace.thread(tid);
+    // One first-touch fill span, one tile span per half-sweep.
+    EXPECT_EQ(rec->span_count(trace::Phase::Init), 1u) << "tid " << tid;
+    EXPECT_EQ(rec->span_count(trace::Phase::Tile),
+              static_cast<std::uint64_t>(2 * iterations))
+        << "tid " << tid;
+    barrier_spans += rec->span_count(trace::Phase::BarrierWait);
+  }
+  // participants-1 wait spans per barrier round (one round per half-sweep).
+  EXPECT_EQ(barrier_spans,
+            static_cast<std::uint64_t>(2 * iterations) * (threads - 1));
+}
+
 }  // namespace
 }  // namespace nustencil

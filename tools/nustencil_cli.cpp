@@ -7,9 +7,14 @@
 //   nustencil --scheme nuCORALS --shape 128x128x128 --steps 100 --threads 8
 //   nustencil --scheme nuCATS --banded --order 2 --verify --instrument
 //   nustencil --sweep-threads 1,2,4,8 --csv results.csv
+//   nustencil --scheme nuCORALS --trace=trace.json --trace-svg=trace.svg \
+//             --phase-metrics
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <set>
 #include <sstream>
 
 #include "common/args.hpp"
@@ -19,6 +24,8 @@
 #include "core/executor.hpp"
 #include "core/reference.hpp"
 #include "schemes/scheme.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_svg.hpp"
 
 namespace {
 
@@ -93,6 +100,36 @@ double verify_against_reference(core::Problem& actual, const Coord& shape,
                             expected.buffer(cfg.timesteps));
 }
 
+/// "trace.json" -> "trace.t8.json" when a sweep produces one file per
+/// thread count; a single run keeps the exact name.
+std::string per_run_path(const std::string& path, int threads, bool sweeping) {
+  if (!sweeping) return path;
+  const std::size_t dot = path.rfind('.');
+  const std::string suffix = ".t" + std::to_string(threads);
+  if (dot == std::string::npos || path.find('/', dot) != std::string::npos)
+    return path + suffix;
+  return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+/// Per-thread phase table for --phase-metrics.
+void print_phase_metrics(const schemes::RunResult& result, double seconds) {
+  Table table("phase metrics: " + result.scheme + ", " +
+              std::to_string(result.threads) + " thread(s), wall " +
+              std::to_string(seconds) + " s");
+  table.set_header({"thread", "init s", "compute s", "barrier-wait s",
+                    "spinflag-wait s", "accounted s", "accounted %"});
+  for (std::size_t tid = 0; tid < result.phases.threads.size(); ++tid) {
+    const auto& t = result.phases.threads[tid];
+    table.add_row(std::to_string(tid),
+                  {t.init_s(), t.compute_s(), t.barrier_wait_s(), t.spin_wait_s(),
+                   t.accounted_s(),
+                   seconds > 0 ? 100.0 * t.accounted_s() / seconds : std::nan("")});
+  }
+  table.print(std::cout);
+  std::cout << "load imbalance (max/mean busy): " << result.phases.imbalance()
+            << '\n';
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -111,6 +148,13 @@ int main(int argc, char** argv) try {
                   "xeon");
   args.add_option("seed", "deterministic initial-condition seed", "42");
   args.add_option("csv", "append results as CSV to this file", "");
+  args.add_option("trace",
+                  "write a Chrome trace-event JSON (Perfetto-loadable) of the "
+                  "run to this file (one track per thread)",
+                  "");
+  args.add_option("trace-svg", "render the per-thread span timeline to this SVG file",
+                  "");
+  args.add_option("trace-buffer", "trace event ring capacity per thread", "65536");
   args.add_option("kernel",
                   "row-kernel policy: auto, scalar, sse2, avx2, fma (not "
                   "bit-exact), or generic (runtime-taps baseline)",
@@ -122,6 +166,9 @@ int main(int argc, char** argv) try {
   args.add_flag("verify", "compare the result against the reference executor");
   args.add_flag("no-simd", "disable the SSE2/AVX kernels");
   args.add_flag("pin", "pin worker threads to host cores");
+  args.add_flag("phase-metrics",
+                "print per-thread compute/barrier-wait/spinflag-wait/init wall-time "
+                "totals and the load-imbalance ratio");
   args.add_flag("explain", "print the plan the scheme would execute, then exit");
   if (!args.parse(argc, argv)) return 0;
 
@@ -144,20 +191,27 @@ int main(int argc, char** argv) try {
       args.get_flag("no-simd") ? core::KernelPolicy::Scalar
                                : core::parse_kernel_policy(args.get("kernel"));
 
+  const std::string trace_path = args.get("trace");
+  const std::string trace_svg_path = args.get("trace-svg");
+  const bool want_trace = !trace_path.empty() || !trace_svg_path.empty();
+  const bool want_phases = args.get_flag("phase-metrics") || want_trace;
+  const int trace_buffer = static_cast<int>(args.get_long("trace-buffer"));
+
   if (args.get_flag("explain")) {
     std::cout << schemes::describe_plan(args.get("scheme"), shape, stencil, *machine,
                                         thread_counts.front(),
                                         args.get_long("steps"))
               << core::explain_kernel_choice(kernel_policy, stencil.npoints(),
-                                             stencil.banded());
+                                             stencil.banded())
+              << trace::describe_observability(trace_path, trace_svg_path,
+                                               args.get_flag("phase-metrics"),
+                                               trace_buffer);
     return 0;
   }
 
-  Table table("nustencil: " + args.get("scheme") + " on " + args.get("shape") +
-              (args.get_flag("banded") ? " (banded)" : "") + ", s=" +
-              std::to_string(order) + ", " + args.get("steps") + " steps");
-  table.set_header({"threads", "seconds", "Gupdates/s", "GFLOPS", "locality %",
-                    "max rel diff"});
+  const bool sweeping = thread_counts.size() > 1;
+  std::vector<schemes::RunResult> results;
+  std::vector<double> diffs;
 
   for (const int threads : thread_counts) {
     const auto scheme = schemes::make_scheme(args.get("scheme"));
@@ -175,20 +229,84 @@ int main(int argc, char** argv) try {
     if (args.get("scheme") == "CATS" || args.get("scheme") == "nuCATS")
       cfg.boundary[2] = core::BoundaryKind::Dirichlet;
 
+    std::optional<trace::Trace> tr;
+    if (want_trace) {
+      tr.emplace(trace_buffer);
+      cfg.trace = &*tr;
+    }
+    cfg.collect_phase_metrics = want_phases;
+
     core::Problem problem(shape, stencil);
     const schemes::RunResult result = scheme->run(problem, cfg);
     const double diff = args.get_flag("verify")
                             ? verify_against_reference(problem, shape, stencil, cfg)
                             : std::nan("");
-    table.add_row(std::to_string(threads),
-                  {result.seconds, result.gupdates_per_second(),
-                   result.gupdates_per_second() * stencil.flops(),
-                   cfg.instrument ? result.traffic.locality() * 100.0 : std::nan(""),
-                   diff});
+
+    if (tr && !trace_path.empty()) {
+      const std::string path = per_run_path(trace_path, threads, sweeping);
+      tr->write_chrome_json_file(path);
+      std::cout << "wrote Chrome trace to " << path
+                << " (load at https://ui.perfetto.dev or chrome://tracing)\n";
+    }
+    if (tr && !trace_svg_path.empty()) {
+      const std::string path = per_run_path(trace_svg_path, threads, sweeping);
+      trace::write_timeline_svg(*tr,
+                                result.scheme + ", " + args.get("shape") + ", " +
+                                    std::to_string(threads) + " thread(s)",
+                                path);
+      std::cout << "wrote timeline SVG to " << path << '\n';
+    }
+    if (args.get_flag("phase-metrics")) print_phase_metrics(result, result.seconds);
+
+    results.push_back(result);
+    diffs.push_back(diff);
     if (args.get_flag("verify") && !(diff <= 1e-12)) {
       std::cerr << "VERIFICATION FAILED: max relative difference " << diff << '\n';
       return 1;
     }
+  }
+
+  // Column set: the fixed summary columns, then every scheme-reported
+  // detail as a stable `detail_<key>` column, then the phase breakdown.
+  std::set<std::string> detail_keys;
+  for (const auto& r : results)
+    for (const auto& [key, value] : r.details) {
+      (void)value;
+      detail_keys.insert(key);
+    }
+  std::vector<std::string> header = {"threads",    "seconds",    "Gupdates/s",
+                                     "GFLOPS",     "locality %", "max rel diff"};
+  for (const auto& key : detail_keys) header.push_back("detail_" + key);
+  if (want_phases)
+    for (const char* col : {"init_s", "compute_s", "barrier_wait_s",
+                            "spinflag_wait_s", "imbalance"})
+      header.push_back(col);
+
+  Table table("nustencil: " + args.get("scheme") + " on " + args.get("shape") +
+              (args.get_flag("banded") ? " (banded)" : "") + ", s=" +
+              std::to_string(order) + ", " + args.get("steps") + " steps");
+  table.set_header(header);
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const schemes::RunResult& result = results[i];
+    std::vector<double> row = {result.seconds, result.gupdates_per_second(),
+                               result.gupdates_per_second() * stencil.flops(),
+                               args.get_flag("instrument")
+                                   ? result.traffic.locality() * 100.0
+                                   : std::nan(""),
+                               diffs[i]};
+    for (const auto& key : detail_keys) {
+      const auto it = result.details.find(key);
+      row.push_back(it != result.details.end() ? it->second : std::nan(""));
+    }
+    if (want_phases) {
+      row.push_back(result.phases.total_s(trace::Phase::Init));
+      row.push_back(result.phases.total_s(trace::Phase::Tile));
+      row.push_back(result.phases.total_s(trace::Phase::BarrierWait));
+      row.push_back(result.phases.total_s(trace::Phase::SpinWait));
+      row.push_back(result.phases.imbalance());
+    }
+    table.add_row(std::to_string(result.threads), row);
   }
 
   table.print(std::cout);
