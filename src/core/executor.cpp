@@ -44,6 +44,13 @@ Executor::Executor(Problem& problem, Instrumentation instr, KernelPolicy policy)
   if (st.banded())
     for (int p = 0; p < st.npoints(); ++p)
       band_ptrs_[static_cast<std::size_t>(p)] = problem.band(p).data();
+  if (instr_.metrics) {
+    metrics::Registry& reg = *instr_.metrics;
+    m_tiles_ = &reg.counter("kernel/tiles");
+    m_fast_rows_ = &reg.counter("kernel/rows/" + kernel_.name());
+    m_slow_cells_ = &reg.counter("kernel/slow_cells");
+    m_tile_hist_ = &reg.histogram("kernel/tile_updates");
+  }
 }
 
 Index Executor::update_box(const Box& box, long t, int tid) {
@@ -147,12 +154,16 @@ Index Executor::update_box(const Box& box, long t, int tid) {
     }
   }
   updates_ += done;
+  if (m_tiles_) {
+    m_tiles_->add(tid);
+    m_tile_hist_->observe(tid, static_cast<std::uint64_t>(done));
+  }
+  if (instr_.traffic) instr_.traffic->tick_updates(tid, static_cast<std::uint64_t>(done));
   return done;
 }
 
 void Executor::update_row(const RowPlan& plan, const KernelArgs& ka0, long t,
                           int tid) {
-  (void)tid;
   const StencilSpec& st = problem_->stencil();
   const auto& points = st.points();
   const int ntaps = ka0.ntaps;
@@ -184,6 +195,8 @@ void Executor::update_row(const RowPlan& plan, const KernelArgs& ka0, long t,
   // Fully checked + wrapped scalar loop, used for boundary cells and for
   // every cell when the dependency checker is active.
   auto slow_cells = [&](Index a, Index b) {
+    if (m_slow_cells_ && b > a)
+      m_slow_cells_->add(tid, static_cast<std::uint64_t>(b - a));
     for (Index x = a; x < b; ++x) {
       const Index cell = plan.dst_row + x;
       double acc = 0.0;
@@ -217,8 +230,10 @@ void Executor::update_row(const RowPlan& plan, const KernelArgs& ka0, long t,
     } else {
       const RowSplit sp = compute_row_split(a, b, nx_, s);
       slow_cells(sp.lo0, sp.lo1);
-      if (sp.fast0 < sp.fast1)
+      if (sp.fast0 < sp.fast1) {
         kernel_.fn(ka, plan.base.data(), plan.dst_row, sp.fast0, sp.fast1);
+        if (m_fast_rows_) m_fast_rows_->add(tid);
+      }
       slow_cells(sp.hi0, sp.hi1);
     }
     vx += len;

@@ -17,6 +17,7 @@
 #include "core/depcheck.hpp"
 #include "core/field.hpp"
 #include "core/kernels.hpp"
+#include "metrics/registry.hpp"
 #include "numa/traffic.hpp"
 #include "trace/trace.hpp"
 
@@ -33,6 +34,10 @@ struct Instrumentation {
   numa::TrafficRecorder* traffic = nullptr;
   DependencyChecker* checker = nullptr;
   cachesim::SharedHierarchy* cache_sim = nullptr;
+  /// Kernel-dispatch counters land here (tiles, fast rows per kernel
+  /// variant, slow boundary cells, tile-size histogram).  Null disables
+  /// every metrics hook at the cost of one branch.
+  metrics::Registry* metrics = nullptr;
 };
 
 /// How one physical row segment [a, b) splits into wrap-checked slow
@@ -88,6 +93,13 @@ class Executor {
   KernelChoice kernel_;
   trace::ThreadRecorder* trace_ = nullptr;
   Index updates_ = 0;
+
+  // Metrics instruments, resolved once at construction (null when
+  // Instrumentation::metrics is null; each hook is then one branch).
+  metrics::Counter* m_tiles_ = nullptr;
+  metrics::Counter* m_fast_rows_ = nullptr;   ///< "kernel/rows/<variant>"
+  metrics::Counter* m_slow_cells_ = nullptr;
+  metrics::Histogram* m_tile_hist_ = nullptr;
 
   // Per-problem invariants hoisted out of the row path.
   std::array<const double*, kMaxTaps> band_ptrs_{};

@@ -1,0 +1,367 @@
+#include "metrics/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace nustencil::metrics {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  Frame& f = stack_.back();
+  NUSTENCIL_CHECK(f.ctx != Ctx::Object || f.key_pending,
+                  "JsonWriter: value inside an object needs a key first");
+  if (f.ctx == Ctx::Array || (f.ctx == Ctx::Object && f.key_pending)) {
+    // For objects the comma was already written by key().
+    if (f.ctx == Ctx::Array && !f.first) *os_ << ',';
+  }
+  f.first = false;
+  f.key_pending = false;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  Frame& f = stack_.back();
+  NUSTENCIL_CHECK(f.ctx == Ctx::Object, "JsonWriter: key outside an object");
+  NUSTENCIL_CHECK(!f.key_pending, "JsonWriter: two keys in a row");
+  if (!f.first) *os_ << ',';
+  *os_ << '"' << json_escape(k) << "\":";
+  f.key_pending = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  *os_ << '{';
+  stack_.push_back({Ctx::Object});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  NUSTENCIL_CHECK(stack_.back().ctx == Ctx::Object && !stack_.back().key_pending,
+                  "JsonWriter: mismatched end_object");
+  stack_.pop_back();
+  *os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  *os_ << '[';
+  stack_.push_back({Ctx::Array});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  NUSTENCIL_CHECK(stack_.back().ctx == Ctx::Array, "JsonWriter: mismatched end_array");
+  stack_.pop_back();
+  *os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  *os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    *os_ << "null";  // JSON has no NaN/Inf
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  *os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  *os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  *os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  *os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  *os_ << "null";
+  return *this;
+}
+
+const JsonValue* JsonValue::find(const std::string& k) const {
+  if (type != Type::Object) return nullptr;
+  for (const auto& [key, val] : object)
+    if (key == k) return &val;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& k) const {
+  const JsonValue* v = find(k);
+  NUSTENCIL_CHECK(v != nullptr, "JsonValue: missing key '" + k + "'");
+  return *v;
+}
+
+double JsonValue::num() const {
+  NUSTENCIL_CHECK(type == Type::Number, "JsonValue: not a number");
+  return number;
+}
+
+const std::string& JsonValue::str() const {
+  NUSTENCIL_CHECK(type == Type::String, "JsonValue: not a string");
+  return string;
+}
+
+bool JsonValue::boolean_value() const {
+  NUSTENCIL_CHECK(type == Type::Bool, "JsonValue: not a bool");
+  return boolean;
+}
+
+std::vector<std::string> JsonValue::keys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, val] : object) {
+    (void)val;
+    out.push_back(key);
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw Error("parse_json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= s_.size() || s_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs not needed
+          // for our reports; emitted verbatim as three-byte sequences).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    JsonValue v;
+    v.type = JsonValue::Type::Number;
+    std::size_t used = 0;
+    try {
+      v.number = std::stod(s_.substr(start, pos_ - start), &used);
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+    if (used != pos_ - start) fail("malformed number");
+    return v;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    JsonValue v;
+    if (c == '{') {
+      v.type = JsonValue::Type::Object;
+      ++pos_;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        v.object.emplace_back(std::move(key), parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      v.type = JsonValue::Type::Array;
+      ++pos_;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        v.array.push_back(parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v.type = JsonValue::Type::String;
+      v.string = parse_string();
+      return v;
+    }
+    if (c == 't') {
+      if (!consume_literal("true")) fail("bad literal");
+      v.type = JsonValue::Type::Bool;
+      v.boolean = true;
+      return v;
+    }
+    if (c == 'f') {
+      if (!consume_literal("false")) fail("bad literal");
+      v.type = JsonValue::Type::Bool;
+      v.boolean = false;
+      return v;
+    }
+    if (c == 'n') {
+      if (!consume_literal("null")) fail("bad literal");
+      return v;
+    }
+    return parse_number();
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) { return Parser(text).parse_document(); }
+
+JsonValue parse_json_file(const std::string& path) {
+  std::ifstream in(path);
+  NUSTENCIL_CHECK(in.good(), "parse_json_file: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_json(ss.str());
+}
+
+}  // namespace nustencil::metrics

@@ -1,0 +1,99 @@
+// Minimal dependency-free JSON: a streaming writer for the run-report
+// emitter and a strict recursive-descent parser for the dashboard
+// renderer and the schema tests.  Numbers round-trip doubles at
+// max_digits10; objects preserve insertion order.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nustencil::metrics {
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes,
+/// backslash, control characters).
+std::string json_escape(const std::string& text);
+
+/// Streaming JSON writer with context tracking: commas are inserted
+/// automatically, keys are only legal inside objects.  Misuse throws.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(&os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key of the next value; must be inside an object.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// key(k) + value(v) in one call.
+  template <typename T>
+  JsonWriter& kv(const std::string& k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  void before_value();
+
+  enum class Ctx : std::uint8_t { Top, Object, Array };
+  struct Frame {
+    Ctx ctx;
+    bool first = true;
+    bool key_pending = false;
+  };
+
+  std::ostream* os_;
+  std::vector<Frame> stack_{{Ctx::Top}};
+};
+
+/// A parsed JSON document node.
+struct JsonValue {
+  enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  ///< insertion order
+
+  bool is_object() const { return type == Type::Object; }
+  bool is_array() const { return type == Type::Array; }
+
+  /// Object member by key, or nullptr when absent / not an object.
+  const JsonValue* find(const std::string& k) const;
+
+  /// Object member by key; throws Error when absent.
+  const JsonValue& at(const std::string& k) const;
+
+  /// Typed accessors; throw Error on type mismatch.
+  double num() const;
+  const std::string& str() const;
+  bool boolean_value() const;
+
+  /// Object member keys in document order (empty for non-objects).
+  std::vector<std::string> keys() const;
+};
+
+/// Parses a complete JSON document (throws Error on any syntax error or
+/// trailing garbage).
+JsonValue parse_json(const std::string& text);
+
+/// Reads and parses `path` (throws Error on I/O or syntax errors).
+JsonValue parse_json_file(const std::string& path);
+
+}  // namespace nustencil::metrics

@@ -1,0 +1,53 @@
+#include "metrics/registry.hpp"
+
+#include "common/error.hpp"
+
+namespace nustencil::metrics {
+
+std::vector<std::uint64_t> Histogram::buckets() const {
+  std::vector<std::uint64_t> total(kBuckets + 1, 0);
+  for (const Slot& s : slots_)
+    for (int b = 0; b <= kBuckets; ++b) total[static_cast<std::size_t>(b)] += s.buckets[b];
+  // Trim trailing empty buckets so reports stay compact.
+  while (total.size() > 1 && total.back() == 0) total.pop_back();
+  return total;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t n = 0;
+  for (const Slot& s : slots_)
+    for (int b = 0; b <= kBuckets; ++b) n += s.buckets[b];
+  return n;
+}
+
+Registry::Registry(int num_threads) : num_threads_(num_threads) {
+  NUSTENCIL_CHECK(num_threads >= 1, "Registry: need at least one thread shard");
+}
+
+Counter& Registry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>(num_threads_);
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(num_threads_);
+  return *slot;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->buckets();
+  return s;
+}
+
+}  // namespace nustencil::metrics

@@ -1,0 +1,29 @@
+// Stable output schemas: the CLI's CSV column set and the run-report
+// JSON's top-level key set live here, in one place, so the writers and
+// the golden-field tests agree by construction.  Any change to these
+// lists is a schema change: bump kRunReportSchemaVersion and update the
+// golden test deliberately.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nustencil::metrics {
+
+/// Version stamped into every run-report document ("schema_version").
+inline constexpr int kRunReportSchemaVersion = 1;
+
+/// The fixed leading CSV columns of the nustencil CLI summary table
+/// (before the detail_* and phase columns).
+const std::vector<std::string>& csv_summary_columns();
+
+/// The phase-breakdown columns appended when phase metrics are on.
+const std::vector<std::string>& csv_phase_columns();
+
+/// Column name of a scheme-reported detail value.
+std::string csv_detail_column(const std::string& key);
+
+/// Top-level keys of the run-report JSON document, in emission order.
+const std::vector<std::string>& run_report_top_level_keys();
+
+}  // namespace nustencil::metrics

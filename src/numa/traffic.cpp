@@ -1,5 +1,7 @@
 #include "numa/traffic.hpp"
 
+#include <algorithm>
+
 namespace nustencil::numa {
 
 void TrafficStats::merge(const TrafficStats& o) {
@@ -10,40 +12,98 @@ void TrafficStats::merge(const TrafficStats& o) {
     bytes_from_node.resize(o.bytes_from_node.size(), 0);
   for (std::size_t i = 0; i < o.bytes_from_node.size(); ++i)
     bytes_from_node[i] += o.bytes_from_node[i];
+  if (node_matrix.size() < o.node_matrix.size())
+    node_matrix.resize(o.node_matrix.size(), 0);
+  for (std::size_t i = 0; i < o.node_matrix.size(); ++i)
+    node_matrix[i] += o.node_matrix[i];
+  // Window i of each side aggregates into window i of the result; the
+  // cumulative update counts add because they are per-thread progress.
+  if (samples.size() < o.samples.size()) samples.resize(o.samples.size());
+  for (std::size_t i = 0; i < o.samples.size(); ++i) {
+    samples[i].updates += o.samples[i].updates;
+    samples[i].local_bytes += o.samples[i].local_bytes;
+    samples[i].remote_bytes += o.samples[i].remote_bytes;
+  }
 }
 
 TrafficRecorder::TrafficRecorder(const PageTable& pages, const VirtualTopology& topo,
                                  int num_threads)
     : pages_(&pages), topo_(&topo), per_thread_(static_cast<std::size_t>(num_threads)),
       scratch_(static_cast<std::size_t>(num_threads)) {
-  for (auto& p : per_thread_)
-    p.stats.bytes_from_node.assign(static_cast<std::size_t>(topo.num_nodes()), 0);
+  const std::size_t nodes = static_cast<std::size_t>(topo.num_nodes());
+  for (int tid = 0; tid < num_threads; ++tid) {
+    PerThread& p = per_thread_[static_cast<std::size_t>(tid)];
+    p.stats.bytes_from_node.assign(nodes, 0);
+    p.stats.node_matrix.assign(nodes * nodes, 0);
+    p.node = topo.node_of_thread(tid);
+  }
 }
 
 void TrafficRecorder::account(int tid, RegionId region, Index byte_begin, Index byte_end) {
   NUSTENCIL_DCHECK(tid >= 0 && tid < static_cast<int>(per_thread_.size()),
                    "TrafficRecorder: bad tid");
-  auto& stats = per_thread_[static_cast<std::size_t>(tid)].stats;
+  PerThread& p = per_thread_[static_cast<std::size_t>(tid)];
+  TrafficStats& stats = p.stats;
   auto& by_node = scratch_[static_cast<std::size_t>(tid)];
   const int nodes = topo_->num_nodes();
   pages_->count_bytes_by_node(region, byte_begin, byte_end, nodes, by_node);
-  const int my_node = topo_->node_of_thread(tid);
+  const int my_node = p.node;
+  std::uint64_t* matrix_row =
+      stats.node_matrix.data() +
+      static_cast<std::size_t>(my_node) * static_cast<std::size_t>(nodes);
+  std::uint64_t attributed = 0;
   for (int n = 0; n < nodes; ++n) {
     const std::uint64_t b = by_node[static_cast<std::size_t>(n)];
     if (b == 0) continue;
+    attributed += b;
     stats.bytes_from_node[static_cast<std::size_t>(n)] += b;
+    matrix_row[n] += b;
     if (n == my_node)
       stats.local_bytes += b;
     else
       stats.remote_bytes += b;
   }
   stats.unowned_bytes += by_node[static_cast<std::size_t>(nodes)];
+  // Exactly-once attribution: the per-node split (plus the unowned
+  // bucket) must cover the range — no byte counted twice when the range
+  // straddles differently-owned pages, none dropped.
+  attributed += by_node[static_cast<std::size_t>(nodes)];
+  NUSTENCIL_DCHECK(attributed == static_cast<std::uint64_t>(byte_end - byte_begin),
+                   "TrafficRecorder: page-straddling range not attributed exactly once");
+}
+
+void TrafficRecorder::close_window(PerThread& p) {
+  LocalitySample s;
+  s.updates = p.cum_updates;
+  s.local_bytes = p.stats.local_bytes - p.sampled_local;
+  s.remote_bytes = p.stats.remote_bytes - p.sampled_remote;
+  p.samples.push_back(s);
+  p.sampled_local = p.stats.local_bytes;
+  p.sampled_remote = p.stats.remote_bytes;
+  p.window_updates = 0;
 }
 
 TrafficStats TrafficRecorder::collect() const {
+  const std::size_t nodes = static_cast<std::size_t>(topo_->num_nodes());
   TrafficStats total;
-  total.bytes_from_node.assign(static_cast<std::size_t>(topo_->num_nodes()), 0);
-  for (const auto& p : per_thread_) total.merge(p.stats);
+  total.bytes_from_node.assign(nodes, 0);
+  total.node_matrix.assign(nodes * nodes, 0);
+  for (const auto& p : per_thread_) {
+    TrafficStats stats = p.stats;
+    stats.samples = p.samples;
+    // A partially filled trailing window still carries signal; flush it
+    // so short runs (and the run tail) appear in the series.
+    if (p.window_updates > 0 &&
+        (p.stats.local_bytes > p.sampled_local ||
+         p.stats.remote_bytes > p.sampled_remote)) {
+      LocalitySample tail;
+      tail.updates = p.cum_updates;
+      tail.local_bytes = p.stats.local_bytes - p.sampled_local;
+      tail.remote_bytes = p.stats.remote_bytes - p.sampled_remote;
+      stats.samples.push_back(tail);
+    }
+    total.merge(stats);
+  }
   return total;
 }
 

@@ -2,52 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "report/svg_util.hpp"
 
 namespace nustencil::report {
-
-namespace {
-
-const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
-                          "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf"};
-constexpr int kPaletteSize = 10;
-
-/// A "nice" tick step covering `span` with ~n ticks.
-double nice_step(double span, int n) {
-  const double raw = span / std::max(1, n);
-  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
-  const double norm = raw / mag;
-  double step = 10.0;
-  if (norm <= 1.0) step = 1.0;
-  else if (norm <= 2.0) step = 2.0;
-  else if (norm <= 5.0) step = 5.0;
-  return step * mag;
-}
-
-std::string fmt(double v) {
-  std::ostringstream os;
-  os.precision(4);
-  os << v;
-  return os.str();
-}
-
-std::string escape(const std::string& text) {
-  std::string out;
-  for (char c : text) {
-    switch (c) {
-      case '<': out += "&lt;"; break;
-      case '>': out += "&gt;"; break;
-      case '&': out += "&amp;"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 std::string render_svg(const ChartSpec& spec) {
   NUSTENCIL_CHECK(!spec.x_ticks.empty(), "render_svg: need at least one x tick");
@@ -77,48 +39,30 @@ std::string render_svg(const ChartSpec& spec) {
   const auto ypos = [&](double v) { return mt + ph * (1.0 - v / ymax); };
 
   std::ostringstream os;
-  os << "<svg xmlns='http://www.w3.org/2000/svg' width='" << w << "' height='" << h
-     << "' viewBox='0 0 " << w << ' ' << h << "'>\n";
-  os << "<rect width='100%' height='100%' fill='white'/>\n";
-  os << "<text x='" << ml + pw / 2 << "' y='24' text-anchor='middle' "
-        "font-family='sans-serif' font-size='15'>"
-     << escape(spec.title) << "</text>\n";
+  svg_begin(os, w, h);
+  svg_title(os, ml + pw / 2, spec.title);
 
   // Grid + y axis.
   for (double v = 0.0; v <= ymax + 1e-9; v += ystep) {
     const double y = ypos(v);
-    os << "<line x1='" << ml << "' y1='" << y << "' x2='" << ml + pw << "' y2='" << y
-       << "' stroke='#dddddd'/>\n";
-    os << "<text x='" << ml - 8 << "' y='" << y + 4
-       << "' text-anchor='end' font-family='sans-serif' font-size='11'>" << fmt(v)
-       << "</text>\n";
+    svg_line(os, ml, y, ml + pw, y, "#dddddd");
+    svg_text(os, ml - 8, y + 4, "end", 11, fmt_num(v));
   }
   // X ticks.
   for (std::size_t i = 0; i < spec.x_ticks.size(); ++i) {
     const double x = xpos(i);
-    os << "<line x1='" << x << "' y1='" << mt + ph << "' x2='" << x << "' y2='"
-       << mt + ph + 5 << "' stroke='black'/>\n";
-    os << "<text x='" << x << "' y='" << mt + ph + 20
-       << "' text-anchor='middle' font-family='sans-serif' font-size='11'>"
-       << escape(spec.x_ticks[i]) << "</text>\n";
+    svg_line(os, x, mt + ph, x, mt + ph + 5, "black");
+    svg_text(os, x, mt + ph + 20, "middle", 11, spec.x_ticks[i]);
   }
   // Axes.
-  os << "<line x1='" << ml << "' y1='" << mt << "' x2='" << ml << "' y2='" << mt + ph
-     << "' stroke='black'/>\n";
-  os << "<line x1='" << ml << "' y1='" << mt + ph << "' x2='" << ml + pw << "' y2='"
-     << mt + ph << "' stroke='black'/>\n";
-  os << "<text x='" << ml + pw / 2 << "' y='" << h - 12
-     << "' text-anchor='middle' font-family='sans-serif' font-size='12'>"
-     << escape(spec.x_label) << "</text>\n";
-  os << "<text x='18' y='" << mt + ph / 2
-     << "' text-anchor='middle' font-family='sans-serif' font-size='12' "
-        "transform='rotate(-90 18 "
-     << mt + ph / 2 << ")'>" << escape(spec.y_label) << "</text>\n";
+  svg_line(os, ml, mt, ml, mt + ph, "black");
+  svg_line(os, ml, mt + ph, ml + pw, mt + ph, "black");
+  axis_labels(os, ml, pw, h, mt, ph, spec.x_label, spec.y_label);
 
   // Series.
   for (std::size_t k = 0; k < spec.series.size(); ++k) {
     const auto& s = spec.series[k];
-    const char* color = kPalette[k % kPaletteSize];
+    const char* color = palette_color(k);
     std::ostringstream points;
     bool first = true;
     for (std::size_t i = 0; i < s.values.size(); ++i) {
@@ -133,15 +77,10 @@ std::string render_svg(const ChartSpec& spec) {
       os << "<circle cx='" << xpos(i) << "' cy='" << ypos(s.values[i])
          << "' r='3.2' fill='" << color << "'/>\n";
     }
-    // Legend entry.
-    const double ly = mt + 14 + static_cast<double>(k) * 18;
-    os << "<line x1='" << ml + pw + 14 << "' y1='" << ly << "' x2='" << ml + pw + 38
-       << "' y2='" << ly << "' stroke='" << color << "' stroke-width='2'/>\n";
-    os << "<text x='" << ml + pw + 44 << "' y='" << ly + 4
-       << "' font-family='sans-serif' font-size='12'>" << escape(s.label)
-       << "</text>\n";
+    legend_entry(os, ml + pw + 14, mt + 14 + static_cast<double>(k) * 18, color,
+                 s.label, /*line=*/true);
   }
-  os << "</svg>\n";
+  svg_end(os);
   return os.str();
 }
 
@@ -179,21 +118,15 @@ std::string render_timeline_svg(const TimelineSpec& spec) {
   const auto xpos = [&](double t) { return ml + pw * t / t_end; };
 
   std::ostringstream os;
-  os << "<svg xmlns='http://www.w3.org/2000/svg' width='" << w << "' height='" << h
-     << "' viewBox='0 0 " << w << ' ' << h << "'>\n";
-  os << "<rect width='100%' height='100%' fill='white'/>\n";
-  os << "<text x='" << ml + pw / 2 << "' y='24' text-anchor='middle' "
-        "font-family='sans-serif' font-size='15'>"
-     << escape(spec.title) << "</text>\n";
+  svg_begin(os, w, h);
+  svg_title(os, ml + pw / 2, spec.title);
 
   // Track lanes + labels.
   for (int k = 0; k < ntracks; ++k) {
     const double y = mt + th * k;
-    os << "<rect x='" << ml << "' y='" << y << "' width='" << pw << "' height='"
-       << th << "' fill='" << (k % 2 ? "#f6f6f6" : "#fdfdfd") << "'/>\n";
-    os << "<text x='" << ml - 8 << "' y='" << y + th / 2 + 4
-       << "' text-anchor='end' font-family='sans-serif' font-size='11'>"
-       << escape(spec.track_labels[static_cast<std::size_t>(k)]) << "</text>\n";
+    svg_rect(os, ml, y, pw, th, k % 2 ? "#f6f6f6" : "#fdfdfd");
+    svg_text(os, ml - 8, y + th / 2 + 4, "end", 11,
+             spec.track_labels[static_cast<std::size_t>(k)]);
   }
 
   // Spans (in input order: structural spans first draw underneath).
@@ -203,38 +136,26 @@ std::string render_timeline_svg(const TimelineSpec& spec) {
     // Keep even sub-pixel spans visible: Perfetto does the same.
     const double wpx = std::max(0.4, x1 - x0);
     const double y = mt + th * s.track + 3;
-    os << "<rect x='" << x0 << "' y='" << y << "' width='" << wpx
-       << "' height='" << th - 6 << "' fill='"
-       << kPalette[static_cast<std::size_t>(s.cls) % kPaletteSize] << "'/>\n";
+    svg_rect(os, x0, y, wpx, th - 6,
+             palette_color(static_cast<std::size_t>(s.cls)));
   }
 
   // Time axis.
   const double step = nice_step(t_end, 8);
   for (double t = 0.0; t <= t_end + 1e-12; t += step) {
     const double x = xpos(t);
-    os << "<line x1='" << x << "' y1='" << mt + ph << "' x2='" << x << "' y2='"
-       << mt + ph + 5 << "' stroke='black'/>\n";
-    os << "<text x='" << x << "' y='" << mt + ph + 20
-       << "' text-anchor='middle' font-family='sans-serif' font-size='11'>"
-       << fmt(t) << "</text>\n";
+    svg_line(os, x, mt + ph, x, mt + ph + 5, "black");
+    svg_text(os, x, mt + ph + 20, "middle", 11, fmt_num(t));
   }
-  os << "<line x1='" << ml << "' y1='" << mt + ph << "' x2='" << ml + pw
-     << "' y2='" << mt + ph << "' stroke='black'/>\n";
-  os << "<text x='" << ml + pw / 2 << "' y='" << h - 10
-     << "' text-anchor='middle' font-family='sans-serif' font-size='12'>"
-     << escape(spec.x_label) << "</text>\n";
+  svg_line(os, ml, mt + ph, ml + pw, mt + ph, "black");
+  axis_labels(os, ml, pw, h, mt, ph, spec.x_label, "");
 
   // Legend.
   for (std::size_t k = 0; k < spec.class_labels.size(); ++k) {
-    const double ly = mt + 10 + static_cast<double>(k) * 18;
-    os << "<rect x='" << ml + pw + 14 << "' y='" << ly - 9
-       << "' width='24' height='12' fill='" << kPalette[k % kPaletteSize]
-       << "'/>\n";
-    os << "<text x='" << ml + pw + 44 << "' y='" << ly + 2
-       << "' font-family='sans-serif' font-size='12'>"
-       << escape(spec.class_labels[k]) << "</text>\n";
+    legend_entry(os, ml + pw + 14, mt + 10 + static_cast<double>(k) * 18,
+                 palette_color(k), spec.class_labels[k], /*line=*/false);
   }
-  os << "</svg>\n";
+  svg_end(os);
   return os.str();
 }
 
@@ -243,6 +164,132 @@ void write_timeline_svg(const TimelineSpec& spec, const std::string& path) {
   NUSTENCIL_CHECK(out.good(), "write_timeline_svg: cannot open " + path);
   out << render_timeline_svg(spec);
   NUSTENCIL_CHECK(out.good(), "write_timeline_svg: write failed for " + path);
+}
+
+std::string render_heatmap_svg(const HeatmapSpec& spec) {
+  const std::size_t cols = spec.x_ticks.size();
+  const std::size_t rows = spec.y_ticks.size();
+  NUSTENCIL_CHECK(rows > 0 && cols > 0,
+                  "render_heatmap_svg: need at least one row and column");
+  NUSTENCIL_CHECK(spec.values.size() == rows * cols,
+                  "render_heatmap_svg: values size != rows x cols");
+
+  const double cs = spec.cell_size;
+  const double ml = 90, mt = 50, mr = 30, mb = 60;
+  const double pw = cs * static_cast<double>(cols);
+  const double ph = cs * static_cast<double>(rows);
+  const double w = ml + pw + mr, h = mt + ph + mb;
+
+  double vmax = 0.0;
+  for (double v : spec.values)
+    if (std::isfinite(v)) vmax = std::max(vmax, v);
+
+  std::ostringstream os;
+  svg_begin(os, w, h);
+  svg_title(os, ml + pw / 2, spec.title);
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double v = spec.values[r * cols + c];
+      // White-to-blue ramp; NaN cells stay light grey.
+      std::string fill = "#eeeeee";
+      if (std::isfinite(v) && vmax > 0.0) {
+        const double t = v / vmax;
+        const int red = static_cast<int>(std::lround(255 - 224 * t));
+        const int green = static_cast<int>(std::lround(255 - 136 * t));
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "#%02x%02xff", red, green);
+        fill = buf;
+      }
+      const double x = ml + cs * static_cast<double>(c);
+      const double y = mt + cs * static_cast<double>(r);
+      svg_rect(os, x, y, cs - 1, cs - 1, fill);
+      if (std::isfinite(v)) {
+        const bool dark = vmax > 0.0 && v / vmax > 0.6;
+        os << "<text x='" << x + cs / 2 << "' y='" << y + cs / 2 + 4
+           << "' text-anchor='middle' font-family='sans-serif' font-size='11'"
+           << (dark ? " fill='white'" : "") << '>'
+           << svg_escape(fmt_num(v) + spec.unit) << "</text>\n";
+      }
+    }
+  }
+  for (std::size_t c = 0; c < cols; ++c)
+    svg_text(os, ml + cs * (static_cast<double>(c) + 0.5), mt + ph + 18,
+             "middle", 11, spec.x_ticks[c]);
+  for (std::size_t r = 0; r < rows; ++r)
+    svg_text(os, ml - 8, mt + cs * (static_cast<double>(r) + 0.5) + 4, "end",
+             11, spec.y_ticks[r]);
+  axis_labels(os, ml, pw, h, mt, ph, spec.x_label, spec.y_label);
+  svg_end(os);
+  return os.str();
+}
+
+std::string render_stacked_bars_svg(const StackedBarSpec& spec) {
+  NUSTENCIL_CHECK(!spec.x_ticks.empty(),
+                  "render_stacked_bars_svg: need at least one x tick");
+  NUSTENCIL_CHECK(!spec.segments.empty(),
+                  "render_stacked_bars_svg: need at least one segment");
+  for (const auto& s : spec.segments)
+    NUSTENCIL_CHECK(s.values.size() == spec.x_ticks.size(),
+                    "render_stacked_bars_svg: segment '" + s.label +
+                        "' length mismatch");
+
+  const double w = spec.width, h = spec.height;
+  const double ml = 70, mr = 180, mt = 50, mb = 55;
+  const double pw = w - ml - mr, ph = h - mt - mb;
+  const std::size_t n = spec.x_ticks.size();
+
+  const auto seg_value = [&](std::size_t k, std::size_t i) {
+    const double v = spec.segments[k].values[i];
+    return std::isfinite(v) && v > 0.0 ? v : 0.0;
+  };
+
+  double ymax = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double total = 0.0;
+    for (std::size_t k = 0; k < spec.segments.size(); ++k)
+      total += seg_value(k, i);
+    ymax = std::max(ymax, total);
+  }
+  if (ymax <= 0.0) ymax = 1.0;
+  const double ystep = nice_step(ymax, 6);
+  ymax = std::ceil(ymax / ystep) * ystep;
+  const auto ypos = [&](double v) { return mt + ph * (1.0 - v / ymax); };
+
+  std::ostringstream os;
+  svg_begin(os, w, h);
+  svg_title(os, ml + pw / 2, spec.title);
+
+  for (double v = 0.0; v <= ymax + 1e-9; v += ystep) {
+    const double y = ypos(v);
+    svg_line(os, ml, y, ml + pw, y, "#dddddd");
+    svg_text(os, ml - 8, y + 4, "end", 11, fmt_num(v));
+  }
+
+  const double slot = pw / static_cast<double>(n);
+  const double bar = slot * 0.64;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = ml + slot * (static_cast<double>(i) + 0.5);
+    double base = 0.0;
+    for (std::size_t k = 0; k < spec.segments.size(); ++k) {
+      const double v = seg_value(k, i);
+      if (v <= 0.0) continue;
+      svg_rect(os, x - bar / 2, ypos(base + v), bar, ypos(base) - ypos(base + v),
+               palette_color(k));
+      base += v;
+    }
+    svg_text(os, x, mt + ph + 20, "middle", 11, spec.x_ticks[i]);
+  }
+
+  svg_line(os, ml, mt, ml, mt + ph, "black");
+  svg_line(os, ml, mt + ph, ml + pw, mt + ph, "black");
+  axis_labels(os, ml, pw, h, mt, ph, spec.x_label, spec.y_label);
+
+  for (std::size_t k = 0; k < spec.segments.size(); ++k)
+    legend_entry(os, ml + pw + 14, mt + 14 + static_cast<double>(k) * 18,
+                 palette_color(k), spec.segments[k].label, /*line=*/false);
+  svg_end(os);
+  return os.str();
 }
 
 }  // namespace nustencil::report

@@ -61,4 +61,37 @@ std::string render_timeline_svg(const TimelineSpec& spec);
 /// Renders and writes to `path` (throws Error on I/O failure).
 void write_timeline_svg(const TimelineSpec& spec, const std::string& path);
 
+/// A matrix heatmap (e.g. the node-to-node traffic matrix): one coloured
+/// cell per (row, column) with the value printed inside, a white-to-blue
+/// ramp scaled to the maximum, row/column tick labels and axis titles.
+struct HeatmapSpec {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  std::vector<std::string> x_ticks;  ///< one per column
+  std::vector<std::string> y_ticks;  ///< one per row
+  std::vector<double> values;        ///< row-major, y_ticks.size() x x_ticks.size()
+  std::string unit;                  ///< printed after the in-cell value
+  int cell_size = 64;
+};
+
+/// Renders the heatmap as a standalone SVG document.
+std::string render_heatmap_svg(const HeatmapSpec& spec);
+
+/// Stacked vertical bars (e.g. per-thread phase seconds): one bar per x
+/// tick, segments stacked bottom-to-top in `segments` order, a legend.
+/// Segment k contributes segments[k].values[i] to bar i (NaN = 0).
+struct StackedBarSpec {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  std::vector<std::string> x_ticks;
+  std::vector<Series> segments;
+  int width = 760;
+  int height = 480;
+};
+
+/// Renders the stacked bars as a standalone SVG document.
+std::string render_stacked_bars_svg(const StackedBarSpec& spec);
+
 }  // namespace nustencil::report

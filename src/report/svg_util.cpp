@@ -1,0 +1,111 @@
+#include "report/svg_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace nustencil::report {
+
+namespace {
+
+const char* kPalette[kPaletteSize] = {"#1f77b4", "#d62728", "#2ca02c",
+                                      "#ff7f0e", "#9467bd", "#8c564b",
+                                      "#e377c2", "#7f7f7f", "#bcbd22",
+                                      "#17becf"};
+
+}  // namespace
+
+std::string svg_escape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+double nice_step(double span, int n) {
+  const double raw = span / std::max(1, n);
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  const double norm = raw / mag;
+  double step = 10.0;
+  if (norm <= 1.0) step = 1.0;
+  else if (norm <= 2.0) step = 2.0;
+  else if (norm <= 5.0) step = 5.0;
+  return step * mag;
+}
+
+std::string fmt_num(double v) {
+  std::ostringstream os;
+  os.precision(4);
+  os << v;
+  return os.str();
+}
+
+const char* palette_color(std::size_t i) { return kPalette[i % kPaletteSize]; }
+
+void svg_begin(std::ostream& os, double width, double height) {
+  os << "<svg xmlns='http://www.w3.org/2000/svg' width='" << width
+     << "' height='" << height << "' viewBox='0 0 " << width << ' ' << height
+     << "'>\n";
+  os << "<rect width='100%' height='100%' fill='white'/>\n";
+}
+
+void svg_end(std::ostream& os) { os << "</svg>\n"; }
+
+void svg_title(std::ostream& os, double cx, const std::string& title) {
+  os << "<text x='" << cx << "' y='24' text-anchor='middle' "
+        "font-family='sans-serif' font-size='15'>"
+     << svg_escape(title) << "</text>\n";
+}
+
+void svg_text(std::ostream& os, double x, double y, const char* anchor,
+              int font_size, const std::string& text,
+              const std::string& transform) {
+  os << "<text x='" << x << "' y='" << y << "' text-anchor='" << anchor
+     << "' font-family='sans-serif' font-size='" << font_size << '\'';
+  if (!transform.empty()) os << " transform='" << transform << '\'';
+  os << '>' << svg_escape(text) << "</text>\n";
+}
+
+void svg_line(std::ostream& os, double x1, double y1, double x2, double y2,
+              const std::string& stroke, double stroke_width) {
+  os << "<line x1='" << x1 << "' y1='" << y1 << "' x2='" << x2 << "' y2='"
+     << y2 << "' stroke='" << stroke << '\'';
+  if (stroke_width != 1.0) os << " stroke-width='" << stroke_width << '\'';
+  os << "/>\n";
+}
+
+void svg_rect(std::ostream& os, double x, double y, double w, double h,
+              const std::string& fill) {
+  os << "<rect x='" << x << "' y='" << y << "' width='" << w << "' height='"
+     << h << "' fill='" << fill << "'/>\n";
+}
+
+void legend_entry(std::ostream& os, double x, double y, const char* color,
+                  const std::string& label, bool line) {
+  if (line) {
+    svg_line(os, x, y, x + 24, y, color, 2.0);
+  } else {
+    svg_rect(os, x, y - 9, 24, 12, color);
+  }
+  svg_text(os, x + 30, y + (line ? 4 : 2), "start", 12, label);
+}
+
+void axis_labels(std::ostream& os, double ml, double pw, double h_total,
+                 double mt, double ph, const std::string& x_label,
+                 const std::string& y_label) {
+  svg_text(os, ml + pw / 2, h_total - 12, "middle", 12, x_label);
+  if (!y_label.empty()) {
+    std::ostringstream rot;
+    rot << "rotate(-90 18 " << mt + ph / 2 << ')';
+    svg_text(os, 18, mt + ph / 2, "middle", 12, y_label, rot.str());
+  }
+}
+
+}  // namespace nustencil::report

@@ -1,3 +1,5 @@
+#include <algorithm>
+#include <cctype>
 #include <vector>
 
 #include "schemes/cats.hpp"
@@ -12,13 +14,19 @@
 namespace nustencil::schemes {
 
 std::unique_ptr<Scheme> make_scheme(const std::string& name) {
-  if (name == "NaiveSSE") return std::make_unique<NaiveScheme>();
-  if (name == "CATS") return std::make_unique<CatsScheme>();
-  if (name == "nuCATS") return std::make_unique<NuCatsScheme>();
-  if (name == "CORALS") return std::make_unique<CoralsScheme>();
-  if (name == "nuCORALS") return std::make_unique<NuCoralsScheme>();
-  if (name == "Pochoir") return std::make_unique<TrapezoidScheme>();
-  if (name == "PLuTo") return std::make_unique<DiamondScheme>();
+  // Legend names are matched case-insensitively so command lines may say
+  // e.g. --scheme=nucorals; the canonical spellings stay in scheme_names().
+  std::string lower(name.size(), '\0');
+  std::transform(name.begin(), name.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (lower == "naivesse") return std::make_unique<NaiveScheme>();
+  if (lower == "cats") return std::make_unique<CatsScheme>();
+  if (lower == "nucats") return std::make_unique<NuCatsScheme>();
+  if (lower == "corals") return std::make_unique<CoralsScheme>();
+  if (lower == "nucorals") return std::make_unique<NuCoralsScheme>();
+  if (lower == "pochoir") return std::make_unique<TrapezoidScheme>();
+  if (lower == "pluto") return std::make_unique<DiamondScheme>();
   throw Error("make_scheme: unknown scheme '" + name + "'");
 }
 

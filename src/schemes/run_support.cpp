@@ -1,5 +1,7 @@
 #include "schemes/run_support.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace nustencil::schemes {
@@ -21,6 +23,16 @@ RunSupport::RunSupport(core::Problem& problem, const RunConfig& config)
     topo_.emplace(*machine_, config.pin_policy);
     recorder_.emplace(*pages_, *topo_, config.num_threads);
     problem.attach(*pages_);
+    if (config.locality_sample_updates >= 0) {
+      Index window = config.locality_sample_updates;
+      if (window == 0) {
+        // Auto: ~32 samples per thread over the whole run.
+        const Index per_thread = problem.volume() * config.timesteps /
+                                 std::max(1, config.num_threads);
+        window = std::max<Index>(1, per_thread / 32);
+      }
+      recorder_->set_sample_window(window);
+    }
   }
   if (config.check_dependencies) checker_.emplace(problem.volume());
 
@@ -37,6 +49,7 @@ RunSupport::RunSupport(core::Problem& problem, const RunConfig& config)
   instr.traffic = recorder_ ? &*recorder_ : nullptr;
   instr.checker = checker_ ? &*checker_ : nullptr;
   instr.cache_sim = config.cache_sim;
+  instr.metrics = config.metrics;
   const core::KernelPolicy policy =
       config.use_simd ? config.kernel : core::KernelPolicy::Scalar;
   for (int tid = 0; tid < config.num_threads; ++tid) {

@@ -15,6 +15,7 @@
 #include "core/boundary.hpp"
 #include "core/field.hpp"
 #include "core/kernels.hpp"
+#include "metrics/registry.hpp"
 #include "numa/traffic.hpp"
 #include "topology/machine.hpp"
 #include "trace/trace.hpp"
@@ -73,6 +74,18 @@ struct RunConfig {
   /// RunResult.phases even without a full event trace (uses an internal
   /// metrics-only recorder when `trace` is null).
   bool collect_phase_metrics = false;
+
+  /// Optional metrics registry: when set, the executors publish kernel
+  /// dispatch counters (tiles, fast rows per variant, slow boundary
+  /// cells, tile-size histogram) into it.  The registry must have at
+  /// least `num_threads` shards.  Null disables every hook at the cost
+  /// of one branch.
+  metrics::Registry* metrics = nullptr;
+
+  /// Locality time-series sampling window, in cell updates per thread
+  /// (requires `instrument`).  0 picks an automatic window of roughly 32
+  /// samples per thread over the run; negative disables sampling.
+  Index locality_sample_updates = 0;
 
   unsigned seed = 42;
 };

@@ -1,8 +1,10 @@
-// Machine description files: parsing, validation, errors.
+// Machine description files: parsing, validation, errors, and the
+// committed machines/*.conf files staying in sync with the built-ins.
 #include <gtest/gtest.h>
 
 #include <sstream>
 
+#include "topology/machine.hpp"
 #include "topology/machine_file.hpp"
 
 namespace nustencil::topology {
@@ -95,6 +97,47 @@ TEST(MachineFile, RoundTripsThroughTheModel) {
   EXPECT_GT(m.cache_bw_per_core(2), 0.0);
   EXPECT_EQ(m.active_sockets(33), 2);
   EXPECT_GT(m.node_controller_bw(), 0.0);
+}
+
+// The committed Table I description files must keep matching the
+// built-in specs the figure harness uses, field by field.
+void expect_matches_builtin(const std::string& file, const MachineSpec& want) {
+  const MachineSpec got =
+      load_machine(std::string(NUSTENCIL_MACHINES_DIR) + "/" + file);
+  EXPECT_EQ(got.name, want.name);
+  EXPECT_EQ(got.sockets, want.sockets);
+  EXPECT_EQ(got.cores_per_socket, want.cores_per_socket);
+  EXPECT_DOUBLE_EQ(got.ghz, want.ghz);
+  EXPECT_DOUBLE_EQ(got.sys_bw_gbs, want.sys_bw_gbs);
+  EXPECT_DOUBLE_EQ(got.peak_dp_gflops, want.peak_dp_gflops);
+  EXPECT_DOUBLE_EQ(got.remote_penalty, want.remote_penalty);
+  ASSERT_EQ(got.caches.size(), want.caches.size());
+  for (std::size_t i = 0; i < want.caches.size(); ++i) {
+    SCOPED_TRACE(want.caches[i].name);
+    EXPECT_EQ(got.caches[i].name, want.caches[i].name);
+    EXPECT_EQ(got.caches[i].size_bytes, want.caches[i].size_bytes);
+    EXPECT_EQ(got.caches[i].shared_by_cores, want.caches[i].shared_by_cores);
+    EXPECT_EQ(got.caches[i].line_bytes, want.caches[i].line_bytes);
+    EXPECT_EQ(got.caches[i].associativity, want.caches[i].associativity);
+    EXPECT_DOUBLE_EQ(got.caches[i].aggregate_bw_gbs,
+                     want.caches[i].aggregate_bw_gbs);
+  }
+  ASSERT_EQ(got.sys_bw_scaling.anchors.size(),
+            want.sys_bw_scaling.anchors.size());
+  for (std::size_t i = 0; i < want.sys_bw_scaling.anchors.size(); ++i) {
+    EXPECT_EQ(got.sys_bw_scaling.anchors[i].first,
+              want.sys_bw_scaling.anchors[i].first);
+    EXPECT_DOUBLE_EQ(got.sys_bw_scaling.anchors[i].second,
+                     want.sys_bw_scaling.anchors[i].second);
+  }
+}
+
+TEST(MachineFile, XeonConfMatchesBuiltin) {
+  expect_matches_builtin("xeon-x7550-4s.conf", xeonX7550());
+}
+
+TEST(MachineFile, OpteronConfMatchesBuiltin) {
+  expect_matches_builtin("opteron-8222-8s.conf", opteron8222());
 }
 
 }  // namespace

@@ -1,0 +1,209 @@
+// Metrics subsystem: registry sharding/aggregation, JSON writer/parser
+// round trips, and the run-report document parsing back into itself.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "metrics/json.hpp"
+#include "metrics/registry.hpp"
+#include "metrics/run_report.hpp"
+#include "metrics/schema.hpp"
+#include "topology/machine.hpp"
+
+namespace nustencil::metrics {
+namespace {
+
+TEST(Registry, CounterAggregatesAcrossShards) {
+  Registry reg(4);
+  Counter& c = reg.counter("events");
+  c.add(0);
+  c.add(1, 10);
+  c.add(3, 100);
+  EXPECT_EQ(c.value(), 111u);
+  EXPECT_EQ(reg.snapshot().counters.at("events"), 111u);
+}
+
+TEST(Registry, CreateOrGetReturnsStableHandles) {
+  Registry reg(2);
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(0, 5);
+  EXPECT_EQ(reg.counter("x").value(), 5u);
+  // Distinct names are distinct instruments.
+  EXPECT_NE(&reg.counter("x"), &reg.counter("y"));
+}
+
+TEST(Registry, ConcurrentShardedIncrementsAreExact) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 100000;
+  Registry reg(kThreads);
+  Counter& c = reg.counter("hot");  // resolved before the team starts
+  std::vector<std::thread> team;
+  for (int tid = 0; tid < kThreads; ++tid)
+    team.emplace_back([&c, tid] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add(tid);
+    });
+  for (auto& t : team) t.join();
+  EXPECT_EQ(c.value(), kPerThread * kThreads);
+}
+
+TEST(Registry, GaugeHoldsLastValue) {
+  Registry reg(1);
+  reg.gauge("g").set(1.5);
+  reg.gauge("g").set(2.5);
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauges.at("g"), 2.5);
+}
+
+TEST(Registry, HistogramLog2Buckets) {
+  Registry reg(2);
+  Histogram& h = reg.histogram("sizes");
+  h.observe(0, 0);   // bucket 0
+  h.observe(0, 1);   // bucket 1
+  h.observe(1, 2);   // bucket 2: [2, 4)
+  h.observe(1, 3);   // bucket 2
+  h.observe(0, 4);   // bucket 3: [4, 8)
+  EXPECT_EQ(h.count(), 5u);
+  const std::vector<std::uint64_t> b = h.buckets();
+  ASSERT_GE(b.size(), 4u);
+  EXPECT_EQ(b[0], 1u);
+  EXPECT_EQ(b[1], 1u);
+  EXPECT_EQ(b[2], 2u);
+  EXPECT_EQ(b[3], 1u);
+}
+
+TEST(Json, WriterProducesParseableDocument) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("s", "a \"quoted\" \n string");
+  w.kv("i", 42);
+  w.kv("d", 0.125);
+  w.kv("b", true);
+  w.key("null_value").null();
+  w.key("arr").begin_array();
+  w.value(1).value(2).value(3);
+  w.end_array();
+  w.key("nested").begin_object();
+  w.kv("k", "v");
+  w.end_object();
+  w.end_object();
+
+  const JsonValue v = parse_json(os.str());
+  EXPECT_EQ(v.at("s").str(), "a \"quoted\" \n string");
+  EXPECT_DOUBLE_EQ(v.at("i").num(), 42.0);
+  EXPECT_DOUBLE_EQ(v.at("d").num(), 0.125);
+  EXPECT_TRUE(v.at("b").boolean_value());
+  EXPECT_EQ(v.at("null_value").type, JsonValue::Type::Null);
+  ASSERT_EQ(v.at("arr").array.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("arr").array[2].num(), 3.0);
+  EXPECT_EQ(v.at("nested").at("k").str(), "v");
+}
+
+TEST(Json, DoublesRoundTripExactly) {
+  for (const double x : {1.0 / 3.0, 1e-300, 6.02214076e23, -0.0, 12345.6789}) {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    w.kv("x", x);
+    w.end_object();
+    EXPECT_EQ(parse_json(os.str()).at("x").num(), x);
+  }
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("nan", std::nan(""));
+  w.end_object();
+  EXPECT_EQ(parse_json(os.str()).at("nan").type, JsonValue::Type::Null);
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  const JsonValue v = parse_json(R"({"z": 1, "a": 2, "m": 3})");
+  EXPECT_EQ(v.keys(), (std::vector<std::string>{"z", "a", "m"}));
+}
+
+TEST(Json, ParserRejectsGarbage) {
+  EXPECT_THROW(parse_json(""), Error);
+  EXPECT_THROW(parse_json("{"), Error);
+  EXPECT_THROW(parse_json("{} trailing"), Error);
+  EXPECT_THROW(parse_json("{'single': 1}"), Error);
+  EXPECT_THROW(parse_json("[1, 2,]"), Error);
+  EXPECT_THROW(parse_json("nul"), Error);
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  const JsonValue v = parse_json(R"({"s": "\u00e9A"})");
+  EXPECT_EQ(v.at("s").str(), "\xc3\xa9"  "A");
+}
+
+RunReport minimal_report(const topology::MachineSpec& machine,
+                         const Registry* reg) {
+  RunReport r;
+  r.scheme = "nuCORALS";
+  r.shape = "8x8x8";
+  r.timesteps = 2;
+  r.threads = 2;
+  r.kernel_policy = "auto";
+  r.kernel_variant = "scalar/generic";
+  r.page_bytes = 4096;
+  r.seed = 42;
+  r.pin_policy = "compact";
+  r.machine = &machine;
+  r.seconds = 0.5;
+  r.updates = 1024;
+  r.gupdates_per_second = 1024 / 0.5 * 1e-9;
+  r.traffic.local_bytes = 100;
+  r.traffic.remote_bytes = 50;
+  r.traffic.bytes_from_node = {150, 0};
+  r.traffic.node_matrix = {100, 0, 50, 0};
+  r.traffic.samples.push_back({512, 60, 40});
+  r.traffic.samples.push_back({1024, 40, 10});
+  r.registry = reg;
+  return r;
+}
+
+TEST(RunReportJson, ParsesBackWithAllSections) {
+  const topology::MachineSpec machine = topology::xeonX7550();
+  Registry reg(2);
+  reg.counter("kernel/tiles").add(0, 7);
+  reg.gauge("run/seconds").set(0.5);
+  reg.histogram("kernel/tile_updates").observe(0, 8);
+  const RunReport rep = minimal_report(machine, &reg);
+
+  const JsonValue doc = parse_json(run_report_json(rep));
+  EXPECT_EQ(doc.keys(), run_report_top_level_keys());
+  EXPECT_EQ(static_cast<int>(doc.at("schema_version").num()),
+            kRunReportSchemaVersion);
+  EXPECT_EQ(doc.at("config").at("scheme").str(), "nuCORALS");
+  EXPECT_EQ(doc.at("machine").at("name").str(), machine.name);
+  EXPECT_DOUBLE_EQ(doc.at("result").at("seconds").num(), 0.5);
+  EXPECT_EQ(doc.at("result").at("max_rel_diff").type, JsonValue::Type::Null);
+  // Matrix rows and the series survive the round trip.
+  const JsonValue& matrix = doc.at("traffic").at("node_matrix");
+  ASSERT_EQ(matrix.array.size(), 2u);
+  EXPECT_DOUBLE_EQ(matrix.array[1].array[0].num(), 50.0);
+  EXPECT_EQ(doc.at("traffic").at("locality_series").array.size(), 2u);
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("kernel/tiles").num(), 7.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("run/seconds").num(), 0.5);
+  EXPECT_EQ(doc.at("histograms").at("kernel/tile_updates").array.size(), 5u);
+}
+
+TEST(RunReportJson, ExportRunToRegistryAddsGauges) {
+  const topology::MachineSpec machine = topology::xeonX7550();
+  Registry reg(2);
+  const RunReport rep = minimal_report(machine, &reg);
+  export_run_to_registry(reg, rep);
+  const Snapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.gauges.at("run/seconds"), 0.5);
+  EXPECT_NEAR(snap.gauges.at("traffic/locality"), 100.0 / 150.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace nustencil::metrics

@@ -109,6 +109,112 @@ TEST(TrafficRecorder, ClassifiesLocalAndRemote) {
   EXPECT_NEAR(stats.locality(), 1.0 / 3.0, 1e-12);
 }
 
+TEST(TrafficRecorder, PageStraddlingRangeAttributedExactlyOnce) {
+  // A range spanning two differently-owned pages must attribute each
+  // page's bytes to its owner exactly once: the per-class totals have to
+  // cover the range with no byte double-counted or dropped.
+  const auto machine = topology::xeonX7550();
+  PageTable pt(4096);
+  VirtualTopology topo(machine);
+  const RegionId r = pt.register_region("straddle", 4096 * 2);
+  pt.first_touch(r, 0, 4096, 0);
+  pt.first_touch(r, 4096, 8192, 1);
+
+  TrafficRecorder rec(pt, topo, 1);
+  rec.account(/*tid=*/0, r, 1000, 7000);  // 3096 B on page 0, 2904 B on page 1
+  const TrafficStats stats = rec.collect();
+  EXPECT_EQ(stats.local_bytes, 3096u);
+  EXPECT_EQ(stats.remote_bytes, 2904u);
+  EXPECT_EQ(stats.unowned_bytes, 0u);
+  EXPECT_EQ(stats.total_bytes(), 6000u);
+  EXPECT_EQ(stats.bytes_from_node[0] + stats.bytes_from_node[1], 6000u);
+}
+
+TEST(TrafficRecorder, StraddleIntoUnownedCountedOncePerPage) {
+  const auto machine = topology::xeonX7550();
+  PageTable pt(4096);
+  VirtualTopology topo(machine);
+  const RegionId r = pt.register_region("half", 4096 * 2);
+  pt.first_touch(r, 0, 4096, 1);  // second page stays untouched
+
+  TrafficRecorder rec(pt, topo, 1);
+  rec.account(/*tid=*/0, r, 4000, 5000);
+  const TrafficStats stats = rec.collect();
+  EXPECT_EQ(stats.remote_bytes, 96u);    // tail of the node-1 page
+  EXPECT_EQ(stats.unowned_bytes, 904u);  // head of the untouched page
+  EXPECT_EQ(stats.total_bytes(), 1000u);
+}
+
+TEST(TrafficRecorder, NodeMatrixSplitsConsumerByOwner) {
+  const auto machine = topology::xeonX7550();
+  PageTable pt(4096);
+  VirtualTopology topo(machine);
+  const RegionId r = pt.register_region("m", 4096 * 2);
+  pt.first_touch(r, 0, 4096, 0);
+  pt.first_touch(r, 4096, 8192, 1);
+
+  TrafficRecorder rec(pt, topo, 16);
+  rec.account(/*tid=*/0, r, 0, 8192);  // consumer node 0: one page each owner
+  rec.account(/*tid=*/8, r, 0, 4096);  // consumer node 1 <- owner node 0
+  const TrafficStats stats = rec.collect();
+  ASSERT_EQ(stats.node_matrix.size(),
+            static_cast<std::size_t>(stats.num_nodes() * stats.num_nodes()));
+  EXPECT_EQ(stats.matrix_at(0, 0), 4096u);
+  EXPECT_EQ(stats.matrix_at(0, 1), 4096u);
+  EXPECT_EQ(stats.matrix_at(1, 0), 4096u);
+  EXPECT_EQ(stats.matrix_at(1, 1), 0u);
+  // The diagonal is the local traffic, the rest remote.
+  EXPECT_EQ(stats.matrix_at(0, 0) + stats.matrix_at(1, 1), stats.local_bytes);
+  EXPECT_EQ(stats.matrix_at(0, 1) + stats.matrix_at(1, 0), stats.remote_bytes);
+}
+
+TEST(TrafficRecorder, LocalitySeriesSamplesPerWindow) {
+  const auto machine = topology::xeonX7550();
+  PageTable pt(4096);
+  VirtualTopology topo(machine);
+  const RegionId r = pt.register_region("series", 4096 * 2);
+  pt.first_touch(r, 0, 4096, 0);
+  pt.first_touch(r, 4096, 8192, 1);
+
+  TrafficRecorder rec(pt, topo, 1);
+  rec.set_sample_window(100);
+  rec.account(0, r, 0, 4096);      // local window
+  rec.tick_updates(0, 100);        // closes window 1
+  rec.account(0, r, 4096, 8192);   // remote window
+  rec.tick_updates(0, 60);
+  rec.tick_updates(0, 40);         // crosses: closes window 2
+  rec.account(0, r, 0, 1024);      // partial trailing window
+  rec.tick_updates(0, 10);         // in progress, not yet a full window
+
+  const TrafficStats stats = rec.collect();
+  ASSERT_EQ(stats.samples.size(), 3u);
+  EXPECT_EQ(stats.samples[0].updates, 100u);
+  EXPECT_DOUBLE_EQ(stats.samples[0].locality(), 1.0);
+  EXPECT_EQ(stats.samples[1].updates, 200u);
+  EXPECT_DOUBLE_EQ(stats.samples[1].locality(), 0.0);
+  EXPECT_EQ(stats.samples[2].local_bytes, 1024u);
+  // The windows partition the aggregate traffic.
+  std::uint64_t local = 0, remote = 0;
+  for (const LocalitySample& s : stats.samples) {
+    local += s.local_bytes;
+    remote += s.remote_bytes;
+  }
+  EXPECT_EQ(local, stats.local_bytes);
+  EXPECT_EQ(remote, stats.remote_bytes);
+}
+
+TEST(TrafficRecorder, SamplingDisabledKeepsSeriesEmpty) {
+  const auto machine = topology::xeonX7550();
+  PageTable pt(4096);
+  VirtualTopology topo(machine);
+  const RegionId r = pt.register_region("off", 4096);
+  pt.first_touch(r, 0, 4096, 0);
+  TrafficRecorder rec(pt, topo, 1);
+  rec.account(0, r, 0, 4096);
+  rec.tick_updates(0, 1000);
+  EXPECT_TRUE(rec.collect().samples.empty());
+}
+
 TEST(TrafficStats, MergeAndEmptyLocality) {
   TrafficStats a, b;
   a.local_bytes = 10;

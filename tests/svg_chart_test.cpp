@@ -144,5 +144,73 @@ TEST(SvgTimeline, NoSpansStillRenders) {
   EXPECT_NO_THROW(render_timeline_svg(t));
 }
 
+HeatmapSpec heatmap_demo() {
+  HeatmapSpec h;
+  h.title = "traffic";
+  h.x_label = "owner";
+  h.y_label = "consumer";
+  h.x_ticks = {"0", "1"};
+  h.y_ticks = {"0", "1"};
+  h.values = {4.0, 0.0, 1.0, 3.0};
+  return h;
+}
+
+TEST(SvgHeatmap, OneCellPerMatrixEntry) {
+  const std::string svg = render_heatmap_svg(heatmap_demo());
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // Background + 4 cells.
+  EXPECT_EQ(count(svg, "<rect"), 5u);
+  EXPECT_NE(svg.find("consumer"), std::string::npos);
+  EXPECT_NE(svg.find(">4<"), std::string::npos);  // in-cell value label
+}
+
+TEST(SvgHeatmap, MaxValueCellIsDarkest) {
+  // The 4.0 cell saturates the ramp (t = 1: #1f77ff); zero stays white.
+  const std::string svg = render_heatmap_svg(heatmap_demo());
+  EXPECT_NE(svg.find("#1f77ff"), std::string::npos);
+  EXPECT_NE(svg.find("#ffffff"), std::string::npos);
+}
+
+TEST(SvgHeatmap, SizeMismatchThrows) {
+  HeatmapSpec h = heatmap_demo();
+  h.values.pop_back();
+  EXPECT_THROW(render_heatmap_svg(h), nustencil::Error);
+  HeatmapSpec empty;
+  EXPECT_THROW(render_heatmap_svg(empty), nustencil::Error);
+}
+
+StackedBarSpec bars_demo() {
+  StackedBarSpec b;
+  b.title = "phases";
+  b.x_label = "thread";
+  b.y_label = "seconds";
+  b.x_ticks = {"0", "1"};
+  b.segments = {{"compute", {0.5, 0.4}}, {"wait", {0.1, 0.2}}};
+  return b;
+}
+
+TEST(SvgStackedBars, OneRectPerPositiveSegment) {
+  const std::string svg = render_stacked_bars_svg(bars_demo());
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  // Background + 4 bar segments + 2 legend swatches.
+  EXPECT_EQ(count(svg, "<rect"), 7u);
+  EXPECT_NE(svg.find("compute"), std::string::npos);
+}
+
+TEST(SvgStackedBars, NanAndZeroSegmentsAreSkipped) {
+  StackedBarSpec b = bars_demo();
+  b.segments = {{"only", {0.5, std::nan("")}}, {"zero", {0.0, 0.0}}};
+  const std::string svg = render_stacked_bars_svg(b);
+  // Background + 1 drawn segment + 2 legend swatches.
+  EXPECT_EQ(count(svg, "<rect"), 4u);
+}
+
+TEST(SvgStackedBars, MismatchedSegmentLengthThrows) {
+  StackedBarSpec b = bars_demo();
+  b.segments[0].values.pop_back();
+  EXPECT_THROW(render_stacked_bars_svg(b), nustencil::Error);
+}
+
 }  // namespace
 }  // namespace nustencil::report

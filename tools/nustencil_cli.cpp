@@ -23,6 +23,9 @@
 #include "common/table.hpp"
 #include "core/executor.hpp"
 #include "core/reference.hpp"
+#include "metrics/run_report.hpp"
+#include "metrics/schema.hpp"
+#include "perf/model.hpp"
 #include "schemes/scheme.hpp"
 #include "trace/trace.hpp"
 #include "trace/trace_svg.hpp"
@@ -111,6 +114,49 @@ std::string per_run_path(const std::string& path, int threads, bool sweeping) {
   return path.substr(0, dot) + suffix + path.substr(dot);
 }
 
+/// Model placement + roofline reference lines for the run report: the
+/// measured locality and node demand feed the paper's model exactly as
+/// the figure harness does, and the reference lines are tabulated over
+/// the power-of-two core counts of the machine (plus the run's own
+/// thread count) so the dashboard can draw the full roofline.
+metrics::ModelSection build_model_section(const schemes::Scheme& scheme,
+                                          const topology::MachineSpec& machine,
+                                          const Coord& shape,
+                                          const core::StencilSpec& stencil,
+                                          const schemes::RunResult& run) {
+  perf::ModelInput in;
+  in.machine = &machine;
+  in.stencil = &stencil;
+  in.threads = run.threads;
+  in.traffic = scheme.estimate_traffic(machine, shape, stencil, run.threads,
+                                       run.timesteps);
+  in.locality = run.traffic.locality();
+  in.node_demand.assign(run.traffic.bytes_from_node.begin(),
+                        run.traffic.bytes_from_node.end());
+  const auto [sync_base, sync_socket] = perf::scheme_sync_overhead(run.scheme);
+  in.sync_overhead = sync_base;
+  in.sync_per_socket = sync_socket;
+  const perf::ModelOutput out = perf::model_scheme(in);
+
+  metrics::ModelSection ms;
+  ms.gupdates_per_core = out.gupdates_per_core;
+  ms.gflops_per_core = out.gflops_per_core;
+  ms.t_compute = out.t_compute;
+  ms.t_llc = out.t_llc;
+  ms.t_mem = out.t_mem;
+  for (int c = 1; c <= machine.cores(); c *= 2) ms.cores.push_back(c);
+  if (ms.cores.back() != machine.cores()) ms.cores.push_back(machine.cores());
+  if (std::find(ms.cores.begin(), ms.cores.end(), run.threads) == ms.cores.end()) {
+    ms.cores.push_back(run.threads);
+    std::sort(ms.cores.begin(), ms.cores.end());
+  }
+  for (const int c : ms.cores) {
+    ms.peak_dp.push_back(perf::peak_dp_line(machine, stencil, c));
+    ms.ll1band0c.push_back(perf::ll1band0c_line(machine, stencil, c));
+  }
+  return ms;
+}
+
 /// Per-thread phase table for --phase-metrics.
 void print_phase_metrics(const schemes::RunResult& result, double seconds) {
   Table table("phase metrics: " + result.scheme + ", " +
@@ -155,6 +201,12 @@ int main(int argc, char** argv) try {
   args.add_option("trace-svg", "render the per-thread span timeline to this SVG file",
                   "");
   args.add_option("trace-buffer", "trace event ring capacity per thread", "65536");
+  args.add_option("report",
+                  "write a schema-versioned JSON run report to this file "
+                  "(enables instrumentation, phase metrics and — unless "
+                  "--no-cache-sim — trace-driven cache simulation; render "
+                  "with nustencil_report)",
+                  "");
   args.add_option("kernel",
                   "row-kernel policy: auto, scalar, sse2, avx2, fma (not "
                   "bit-exact), or generic (runtime-taps baseline)",
@@ -169,6 +221,8 @@ int main(int argc, char** argv) try {
   args.add_flag("phase-metrics",
                 "print per-thread compute/barrier-wait/spinflag-wait/init wall-time "
                 "totals and the load-imbalance ratio");
+  args.add_flag("no-cache-sim",
+                "skip the cache simulation a --report run would otherwise do");
   args.add_flag("explain", "print the plan the scheme would execute, then exit");
   if (!args.parse(argc, argv)) return 0;
 
@@ -193,8 +247,12 @@ int main(int argc, char** argv) try {
 
   const std::string trace_path = args.get("trace");
   const std::string trace_svg_path = args.get("trace-svg");
+  const std::string report_path = args.get("report");
   const bool want_trace = !trace_path.empty() || !trace_svg_path.empty();
-  const bool want_phases = args.get_flag("phase-metrics") || want_trace;
+  const bool want_report = !report_path.empty();
+  const bool want_cache_sim = want_report && !args.get_flag("no-cache-sim");
+  const bool want_phases =
+      args.get_flag("phase-metrics") || want_trace || want_report;
   const int trace_buffer = static_cast<int>(args.get_long("trace-buffer"));
 
   if (args.get_flag("explain")) {
@@ -205,7 +263,8 @@ int main(int argc, char** argv) try {
                                              stencil.banded())
               << trace::describe_observability(trace_path, trace_svg_path,
                                                args.get_flag("phase-metrics"),
-                                               trace_buffer);
+                                               trace_buffer)
+              << metrics::describe_report(report_path, want_cache_sim);
     return 0;
   }
 
@@ -236,6 +295,18 @@ int main(int argc, char** argv) try {
     }
     cfg.collect_phase_metrics = want_phases;
 
+    std::optional<metrics::Registry> registry;
+    std::optional<cachesim::SharedHierarchy> cache_sim;
+    if (want_report) {
+      cfg.instrument = true;
+      registry.emplace(threads);
+      cfg.metrics = &*registry;
+      if (want_cache_sim) {
+        cache_sim.emplace(*machine, threads);
+        cfg.cache_sim = &*cache_sim;
+      }
+    }
+
     core::Problem problem(shape, stencil);
     const schemes::RunResult result = scheme->run(problem, cfg);
     const double diff = args.get_flag("verify")
@@ -256,6 +327,42 @@ int main(int argc, char** argv) try {
                                 path);
       std::cout << "wrote timeline SVG to " << path << '\n';
     }
+    if (want_report) {
+      metrics::RunReport rep;
+      rep.scheme = result.scheme;
+      rep.shape = args.get("shape");
+      rep.timesteps = result.timesteps;
+      rep.threads = threads;
+      rep.kernel_policy = args.get_flag("no-simd") ? "scalar" : args.get("kernel");
+      rep.kernel_variant =
+          core::select_kernel(cfg.use_simd ? kernel_policy : core::KernelPolicy::Scalar,
+                              stencil.npoints(), stencil.banded())
+              .name();
+      rep.page_bytes = cfg.page_bytes;
+      rep.seed = cfg.seed;
+      rep.pin_policy =
+          cfg.pin_policy == numa::PinPolicy::Compact ? "compact" : "scatter";
+      rep.machine = machine;
+      rep.seconds = result.seconds;
+      rep.updates = result.updates;
+      rep.gupdates_per_second = result.gupdates_per_second();
+      if (args.get_flag("verify")) rep.max_rel_diff = diff;
+      rep.traffic = result.traffic;
+      cachesim::HierarchyTraffic cache_traffic;
+      if (cache_sim) {
+        cache_traffic = cache_sim->traffic();
+        rep.cache = &cache_traffic;
+        rep.cache_line_bytes = cache_sim->line_bytes();
+      }
+      rep.phases = result.phases;
+      rep.model = build_model_section(*scheme, *machine, shape, stencil, result);
+      metrics::export_run_to_registry(*registry, rep);
+      rep.registry = &*registry;
+      const std::string path = per_run_path(report_path, threads, sweeping);
+      metrics::write_run_report_file(rep, path);
+      std::cout << "wrote run report to " << path
+                << " (render with nustencil_report)\n";
+    }
     if (args.get_flag("phase-metrics")) print_phase_metrics(result, result.seconds);
 
     results.push_back(result);
@@ -274,12 +381,11 @@ int main(int argc, char** argv) try {
       (void)value;
       detail_keys.insert(key);
     }
-  std::vector<std::string> header = {"threads",    "seconds",    "Gupdates/s",
-                                     "GFLOPS",     "locality %", "max rel diff"};
-  for (const auto& key : detail_keys) header.push_back("detail_" + key);
+  std::vector<std::string> header = metrics::csv_summary_columns();
+  for (const auto& key : detail_keys)
+    header.push_back(metrics::csv_detail_column(key));
   if (want_phases)
-    for (const char* col : {"init_s", "compute_s", "barrier_wait_s",
-                            "spinflag_wait_s", "imbalance"})
+    for (const std::string& col : metrics::csv_phase_columns())
       header.push_back(col);
 
   Table table("nustencil: " + args.get("scheme") + " on " + args.get("shape") +
@@ -291,7 +397,7 @@ int main(int argc, char** argv) try {
     const schemes::RunResult& result = results[i];
     std::vector<double> row = {result.seconds, result.gupdates_per_second(),
                                result.gupdates_per_second() * stencil.flops(),
-                               args.get_flag("instrument")
+                               args.get_flag("instrument") || want_report
                                    ? result.traffic.locality() * 100.0
                                    : std::nan(""),
                                diffs[i]};

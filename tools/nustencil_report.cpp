@@ -1,0 +1,244 @@
+// nustencil_report — renders a nustencil JSON run report (written by
+// `nustencil --report=out.json`) into a self-contained HTML dashboard:
+// the node-to-node traffic heatmap, the locality timeline, per-thread
+// phase bars, and the roofline placement against the paper's reference
+// lines.  No external assets; every panel is inline SVG.
+//
+//   nustencil_report run.json              # writes run.html
+//   nustencil_report run.json dash.html
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "metrics/json.hpp"
+#include "metrics/schema.hpp"
+#include "report/svg_chart.hpp"
+#include "report/svg_util.hpp"
+
+namespace {
+
+using namespace nustencil;
+using metrics::JsonValue;
+
+std::string heatmap_panel(const JsonValue& traffic) {
+  const JsonValue& matrix = traffic.at("node_matrix");
+  if (!matrix.is_array() || matrix.array.empty())
+    return "<p>No traffic matrix (run was not instrumented).</p>\n";
+
+  report::HeatmapSpec hm;
+  hm.title = "node-to-node traffic (MiB)";
+  hm.x_label = "owner node";
+  hm.y_label = "consumer node";
+  const std::size_t nodes = matrix.array.size();
+  for (std::size_t n = 0; n < nodes; ++n) {
+    hm.x_ticks.push_back(std::to_string(n));
+    hm.y_ticks.push_back(std::to_string(n));
+  }
+  for (const JsonValue& row : matrix.array) {
+    NUSTENCIL_CHECK(row.is_array() && row.array.size() == nodes,
+                    "nustencil_report: ragged node_matrix");
+    for (const JsonValue& cell : row.array)
+      hm.values.push_back(cell.num() / (1024.0 * 1024.0));
+  }
+  return report::render_heatmap_svg(hm);
+}
+
+std::string locality_panel(const JsonValue& traffic) {
+  const JsonValue& series = traffic.at("locality_series");
+  if (!series.is_array() || series.array.size() < 2)
+    return "<p>No locality time-series (need at least two samples).</p>\n";
+
+  report::ChartSpec c;
+  c.title = "NUMA locality over the run";
+  c.x_label = "cell updates (millions)";
+  c.y_label = "locality %";
+  report::Series s;
+  s.label = "locality";
+  for (const JsonValue& sample : series.array) {
+    std::ostringstream tick;
+    tick.precision(3);
+    tick << sample.at("updates").num() / 1e6;
+    c.x_ticks.push_back(tick.str());
+    s.values.push_back(sample.at("locality").num() * 100.0);
+  }
+  c.series.push_back(std::move(s));
+  return report::render_svg(c);
+}
+
+std::string phases_panel(const JsonValue& phases) {
+  const JsonValue* enabled = phases.find("enabled");
+  if (!enabled || !enabled->boolean_value())
+    return "<p>No phase breakdown (run without phase metrics).</p>\n";
+
+  report::StackedBarSpec sb;
+  sb.title = "per-thread phase breakdown";
+  sb.x_label = "thread";
+  sb.y_label = "seconds";
+  sb.segments = {{"init", {}}, {"compute", {}}, {"barrier wait", {}},
+                 {"spin-flag wait", {}}};
+  const char* keys[] = {"init_s", "compute_s", "barrier_wait_s",
+                        "spinflag_wait_s"};
+  const JsonValue& threads = phases.at("threads");
+  for (std::size_t tid = 0; tid < threads.array.size(); ++tid) {
+    sb.x_ticks.push_back(std::to_string(tid));
+    for (std::size_t k = 0; k < 4; ++k)
+      sb.segments[k].values.push_back(threads.array[tid].at(keys[k]).num());
+  }
+  return report::render_stacked_bars_svg(sb);
+}
+
+std::string roofline_panel(const JsonValue& doc) {
+  const JsonValue& model = doc.at("model");
+  const JsonValue* lines = model.find("lines");
+  if (!lines) return "<p>No model section in this report.</p>\n";
+
+  report::ChartSpec c;
+  c.title = "roofline: model placement vs reference lines";
+  c.x_label = "cores";
+  c.y_label = "Gupdates/s per core";
+  const JsonValue& cores = lines->at("cores");
+  for (const JsonValue& v : cores.array)
+    c.x_ticks.push_back(std::to_string(static_cast<long>(v.num())));
+
+  report::Series peak{"Peak DP", {}}, llc{"LL1Band0C", {}};
+  for (const JsonValue& v : lines->at("peak_dp").array) peak.values.push_back(v.num());
+  for (const JsonValue& v : lines->at("ll1band0c").array) llc.values.push_back(v.num());
+
+  // The model placement and the wall-clock measurement are single points
+  // at the run's core count: a one-point series renders as a marker.
+  const double threads = doc.at("config").at("threads").num();
+  const double model_point = model.at("gupdates_per_core").num();
+  const double measured =
+      doc.at("result").at("gupdates_per_s").num() / std::max(1.0, threads);
+  report::Series model_s{"model @" + std::to_string(static_cast<long>(threads)),
+                         {}};
+  report::Series meas_s{"measured (wall clock)", {}};
+  for (const JsonValue& v : cores.array) {
+    const bool here = static_cast<long>(v.num()) == static_cast<long>(threads);
+    model_s.values.push_back(here ? model_point : std::nan(""));
+    meas_s.values.push_back(here ? measured : std::nan(""));
+  }
+  c.series = {peak, llc, model_s, meas_s};
+  return report::render_svg(c);
+}
+
+std::string summary_table(const JsonValue& doc) {
+  const JsonValue& cfg = doc.at("config");
+  const JsonValue& res = doc.at("result");
+  const JsonValue& traffic = doc.at("traffic");
+  std::ostringstream os;
+  os << "<table>\n";
+  const auto row = [&](const std::string& k, const std::string& v) {
+    os << "<tr><th>" << report::svg_escape(k) << "</th><td>"
+       << report::svg_escape(v) << "</td></tr>\n";
+  };
+  row("scheme", cfg.at("scheme").str());
+  row("shape", cfg.at("shape").str() + ", " +
+                   report::fmt_num(cfg.at("timesteps").num()) + " steps");
+  row("threads", report::fmt_num(cfg.at("threads").num()));
+  if (const JsonValue* name = doc.at("machine").find("name"))
+    row("machine", name->str());
+  row("kernel", cfg.at("kernel_variant").str());
+  row("wall clock", report::fmt_num(res.at("seconds").num()) + " s");
+  row("throughput", report::fmt_num(res.at("gupdates_per_s").num()) +
+                        " Gupdates/s");
+  row("locality", report::fmt_num(traffic.at("locality").num() * 100.0) + " %");
+  const JsonValue& diff = res.at("max_rel_diff");
+  if (diff.type == JsonValue::Type::Number)
+    row("max rel diff", report::fmt_num(diff.num()));
+  os << "</table>\n";
+  return os.str();
+}
+
+std::string cache_table(const JsonValue& cache) {
+  const JsonValue* levels = cache.find("levels");
+  if (!levels) return "<p>No cache simulation in this report.</p>\n";
+  std::ostringstream os;
+  os << "<table>\n<tr><th>level</th><th>hits</th><th>misses</th>"
+        "<th>hit rate</th></tr>\n";
+  for (const JsonValue& lv : levels->array) {
+    os << "<tr><td>L" << report::fmt_num(lv.at("level").num()) << "</td><td>"
+       << report::fmt_num(lv.at("hits").num()) << "</td><td>"
+       << report::fmt_num(lv.at("misses").num()) << "</td><td>"
+       << report::fmt_num(lv.at("hit_rate").num() * 100.0) << " %</td></tr>\n";
+  }
+  os << "</table>\n";
+  return os.str();
+}
+
+std::string counters_table(const JsonValue& doc) {
+  const JsonValue& counters = doc.at("counters");
+  if (counters.object.empty()) return "";
+  std::ostringstream os;
+  os << "<h2>Counters</h2>\n<table>\n";
+  for (const auto& [name, v] : counters.object)
+    os << "<tr><th>" << report::svg_escape(name) << "</th><td>"
+       << report::fmt_num(v.num()) << "</td></tr>\n";
+  os << "</table>\n";
+  return os.str();
+}
+
+std::string render_dashboard(const JsonValue& doc) {
+  const double version = doc.at("schema_version").num();
+  NUSTENCIL_CHECK(static_cast<int>(version) == metrics::kRunReportSchemaVersion,
+                  "nustencil_report: unsupported schema version " +
+                      std::to_string(static_cast<int>(version)));
+
+  std::ostringstream os;
+  os << "<!DOCTYPE html>\n<html>\n<head>\n<meta charset='utf-8'>\n<title>"
+     << report::svg_escape(doc.at("config").at("scheme").str())
+     << " run report</title>\n<style>\n"
+        "body{font-family:sans-serif;max-width:1080px;margin:24px auto;}\n"
+        "table{border-collapse:collapse;margin:12px 0;}\n"
+        "th,td{border:1px solid #ccc;padding:4px 10px;text-align:left;"
+        "font-size:14px;}\n"
+        "svg{display:block;margin:16px 0;}\n"
+        "</style>\n</head>\n<body>\n";
+  os << "<h1>nustencil run report</h1>\n";
+  os << summary_table(doc);
+  os << "<h2>NUMA traffic</h2>\n" << heatmap_panel(doc.at("traffic"));
+  os << "<h2>Locality timeline</h2>\n" << locality_panel(doc.at("traffic"));
+  os << "<h2>Phases</h2>\n" << phases_panel(doc.at("phases"));
+  os << "<h2>Roofline</h2>\n" << roofline_panel(doc);
+  os << "<h2>Cache hierarchy</h2>\n" << cache_table(doc.at("cache"));
+  os << counters_table(doc);
+  os << "</body>\n</html>\n";
+  return os.str();
+}
+
+std::string default_output(const std::string& input) {
+  const std::size_t dot = input.rfind('.');
+  if (dot == std::string::npos || input.find('/', dot) != std::string::npos)
+    return input + ".html";
+  return input.substr(0, dot) + ".html";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  if (argc < 2 || argc > 3 || std::string(argv[1]) == "--help") {
+    std::cerr << "usage: nustencil_report <report.json> [<out.html>]\n"
+                 "renders a nustencil --report JSON file into a "
+                 "self-contained HTML dashboard\n";
+    return argc >= 2 && std::string(argv[1]) == "--help" ? 0 : 2;
+  }
+  const std::string in_path = argv[1];
+  const std::string out_path = argc == 3 ? argv[2] : default_output(in_path);
+
+  const JsonValue doc = metrics::parse_json_file(in_path);
+  const std::string html = render_dashboard(doc);
+
+  std::ofstream out(out_path);
+  NUSTENCIL_CHECK(out.good(), "nustencil_report: cannot open " + out_path);
+  out << html;
+  NUSTENCIL_CHECK(out.good(), "nustencil_report: write failed for " + out_path);
+  std::cout << "wrote dashboard to " << out_path << '\n';
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 2;
+}
