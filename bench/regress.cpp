@@ -2,18 +2,20 @@
 // writes every deterministic observable to BENCH_schemes.json, and in
 // --baseline mode diffs a fresh run against a committed baseline.
 //
-// The gate is deliberately non-flaky: cell-update counts and *total*
-// simulated traffic bytes are integer-deterministic and compared
-// exactly.  The local/remote split is not: a page straddling two
-// threads' first-touch ranges is owned by whichever thread touches it
-// first, so scheduling can move a few boundary pages between nodes
-// run-to-run.  Locality (and the model output, which consumes it)
-// therefore gets a small absolute tolerance — wide enough for the
-// boundary-page race, far too tight for a real affinity regression
-// (losing owner-matched assignment moves locality by ~0.3, not ~0.03).
-// Wall-clock seconds are only sanity-checked against a generous ratio
-// (--wall-tol, default 4x) so a loaded CI machine cannot fail the
-// build, but a 4x slowdown still does.
+// The gate is deliberately non-flaky: cell-update counts and simulated
+// traffic bytes are integer-deterministic and compared exactly.  The
+// local/remote split used to race — a page straddling two threads'
+// first-touch ranges went to whichever thread touched it first — and
+// locality carried a 0.05 absolute tolerance to absorb that.  Since the
+// executors switched to PageTable::first_touch_page_start (a straddling
+// page goes to the owner of its first byte, deterministically), the
+// split is exact too, so local/remote/unowned bytes are now gated with
+// exact integer compares and the locality tolerance is gone.  The model
+// output keeps a small relative tolerance only because it runs through
+// libm, which may differ across toolchains.  Wall-clock seconds are
+// only sanity-checked against a generous ratio (--wall-tol, default 4x)
+// so a loaded CI machine cannot fail the build, but a 4x slowdown still
+// does.
 //
 //   regress                         # writes BENCH_schemes.json
 //   regress --out=fresh.json --baseline=bench/BENCH_schemes.json
@@ -52,16 +54,17 @@ constexpr int kThreads = 2;
 struct Case {
   std::string scheme;
   Index edge = 0;
-  // Integer-deterministic observables: updates, local+remote total, and
-  // unowned bytes are compared exactly.  The local/remote split itself
-  // races on boundary pages (see the header comment), so it is recorded
-  // for inspection but gated only through the locality tolerance.
+  // Integer-deterministic observables, all compared exactly: updates and
+  // the full local/remote/unowned traffic split (deterministic since
+  // first-touch switched to the page-start ownership rule).
   Index updates = 0;
   std::uint64_t local_bytes = 0;
   std::uint64_t remote_bytes = 0;
   std::uint64_t unowned_bytes = 0;
-  // Depend on the racy split: absolute / relative tolerance.
+  // Derived from the exact split but serialised as a double: tight
+  // relative tolerance covers only JSON round-trip formatting.
   double locality = 0.0;
+  // Goes through libm: small relative tolerance.
   double model_gupdates_per_core = 0.0;
   // Wall clock: ratio tolerance only.
   double seconds = 0.0;
@@ -186,18 +189,14 @@ int compare(const std::vector<Case>& fresh, const metrics::JsonValue& base,
                     " != " + std::to_string(got));
     };
     exact("updates", static_cast<std::uint64_t>(c.updates));
-    const auto base_total =
-        static_cast<std::uint64_t>(jc->at("local_bytes").num()) +
-        static_cast<std::uint64_t>(jc->at("remote_bytes").num());
-    const std::uint64_t got_total = c.local_bytes + c.remote_bytes;
-    if (base_total != got_total)
-      fail(c, "owned traffic bytes: baseline " + std::to_string(base_total) +
-                  " != " + std::to_string(got_total));
+    // The split is deterministic under the page-start first-touch rule,
+    // so each side is gated exactly — no tolerance for placement drift.
+    exact("local_bytes", c.local_bytes);
+    exact("remote_bytes", c.remote_bytes);
     exact("unowned_bytes", c.unowned_bytes);
-    // 0.05 absolute: boundary-page first-touch races move locality by
-    // ~0.03 at the smallest edge; a lost-affinity regression moves ~0.3.
-    constexpr double kLocalityTol = 0.05;
-    if (std::fabs(jc->at("locality").num() - c.locality) > kLocalityTol)
+    // Locality is local/(local+remote) — exact up to the JSON round-trip
+    // of the double, hence the near-zero relative tolerance.
+    if (!close_rel(jc->at("locality").num(), c.locality, 1e-9))
       fail(c, "locality drifted: baseline " +
                   std::to_string(jc->at("locality").num()) + " != " +
                   std::to_string(c.locality));

@@ -24,6 +24,16 @@ void ArgParser::add_flag(const std::string& name, const std::string& help) {
   order_.push_back(name);
 }
 
+int ArgParser::validate_thread_count(long threads, int machine_cores) {
+  NUSTENCIL_CHECK(threads >= 1, "--threads must be at least 1, got " +
+                                    std::to_string(threads));
+  NUSTENCIL_CHECK(threads <= machine_cores,
+                  "--threads " + std::to_string(threads) + " exceeds the " +
+                      std::to_string(machine_cores) +
+                      " cores of the selected --machine");
+  return static_cast<int>(threads);
+}
+
 bool ArgParser::parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];

@@ -37,6 +37,12 @@ class ArgParser {
 
   const std::vector<std::string>& positionals() const { return positionals_; }
 
+  /// Validates a worker-thread count against the target machine: throws
+  /// Error (with the offending value in the message) unless
+  /// 1 <= threads <= machine_cores.  Returns the count as an int so CLI
+  /// code can validate and narrow in one step.
+  static int validate_thread_count(long threads, int machine_cores);
+
   /// The full --help text.
   std::string help() const;
 

@@ -308,14 +308,18 @@ void Executor::first_touch_box(const Box& box, int node, unsigned seed) {
       const Index row = y * sy_ + z * sz_;
       problem_->fill_row(row + lo0, row + hi0, seed);
       if (instr_.pages && problem_->buffer(0).attached()) {
+        // Page-start rule: a page straddling two init tiles goes to the
+        // owner of its first byte, deterministically, because the tiles'
+        // row ranges are disjoint and cover the region (the overlap rule
+        // would hand straddling pages to whichever thread touched first).
         numa::PageTable& table = *instr_.pages;
         const Index b0 = Field::byte_of(row + lo0);
         const Index b1 = Field::byte_of(row + hi0);
-        table.first_touch(problem_->buffer(0).region(), b0, b1, node);
-        table.first_touch(problem_->buffer(1).region(), b0, b1, node);
+        table.first_touch_page_start(problem_->buffer(0).region(), b0, b1, node);
+        table.first_touch_page_start(problem_->buffer(1).region(), b0, b1, node);
         if (problem_->has_bands()) {
           for (int p = 0; p < problem_->stencil().npoints(); ++p)
-            table.first_touch(problem_->band(p).region(), b0, b1, node);
+            table.first_touch_page_start(problem_->band(p).region(), b0, b1, node);
         }
       }
     }

@@ -22,6 +22,7 @@ void write_config(JsonWriter& w, const RunReport& r) {
   w.kv("page_bytes", static_cast<std::int64_t>(r.page_bytes));
   w.kv("seed", static_cast<std::uint64_t>(r.seed));
   w.kv("pin_policy", r.pin_policy);
+  w.kv("schedule", r.schedule.empty() ? "static" : r.schedule);
   w.end_object();
 }
 
@@ -145,6 +146,30 @@ void write_phases(JsonWriter& w, const trace::PhaseBreakdown& p) {
   w.end_object();
 }
 
+void write_sched(JsonWriter& w, const sched::SchedStats& s) {
+  w.begin_object();
+  w.kv("enabled", s.enabled);
+  if (s.enabled) {
+    w.kv("schedule", s.schedule);
+    w.kv("steal_attempts", s.total_attempts());
+    w.kv("steals", s.total_steals());
+    w.kv("steal_fails", s.total_fails());
+    w.kv("stolen_updates", s.total_stolen_updates());
+    w.key("threads").begin_array();
+    for (const auto& t : s.threads) {
+      w.begin_object();
+      w.kv("steal_attempts", t.steal_attempts);
+      w.kv("steals", t.steals);
+      w.kv("steal_fails", t.steal_fails);
+      w.kv("stolen_tasks", t.stolen_tasks);
+      w.kv("stolen_updates", t.stolen_updates);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+}
+
 void write_model(JsonWriter& w, const std::optional<ModelSection>& m) {
   w.begin_object();
   if (m) {
@@ -187,6 +212,8 @@ void write_run_report(const RunReport& report, std::ostream& os) {
   write_cache(w, report);
   w.key("phases");
   write_phases(w, report.phases);
+  w.key("sched");
+  write_sched(w, report.sched);
   w.key("model");
   write_model(w, report.model);
 

@@ -16,6 +16,7 @@
 #include "common/types.hpp"
 #include "metrics/registry.hpp"
 #include "numa/traffic.hpp"
+#include "sched/schedule.hpp"
 #include "topology/machine.hpp"
 #include "trace/trace.hpp"
 
@@ -49,6 +50,7 @@ struct RunReport {
   Index page_bytes = 0;
   unsigned seed = 0;
   std::string pin_policy;    ///< "compact" / "scatter"
+  std::string schedule;      ///< "static" / "steal" / "steal_local"
 
   // machine the run was instrumented against
   const topology::MachineSpec* machine = nullptr;
@@ -63,6 +65,7 @@ struct RunReport {
   const cachesim::HierarchyTraffic* cache = nullptr;  ///< null without cache sim
   Index cache_line_bytes = 0;
   trace::PhaseBreakdown phases;
+  sched::SchedStats sched;  ///< enabled only under a stealing schedule
   std::optional<ModelSection> model;
   const Registry* registry = nullptr;  ///< counters/gauges/histograms
 };

@@ -11,7 +11,9 @@
 namespace nustencil::metrics {
 
 /// Version stamped into every run-report document ("schema_version").
-inline constexpr int kRunReportSchemaVersion = 1;
+/// v2: added the top-level "sched" section (work-stealing statistics)
+/// and config.schedule.
+inline constexpr int kRunReportSchemaVersion = 2;
 
 /// The fixed leading CSV columns of the nustencil CLI summary table
 /// (before the detail_* and phase columns).

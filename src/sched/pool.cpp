@@ -1,0 +1,199 @@
+#include "sched/pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "metrics/registry.hpp"
+
+namespace nustencil::sched {
+
+std::vector<int> thread_nodes(const topology::MachineSpec& machine,
+                              numa::PinPolicy policy, int num_threads) {
+  // Mirrors numa::VirtualTopology's placement so that scheduling and
+  // traffic instrumentation agree on where every worker lives.
+  std::vector<int> nodes(static_cast<std::size_t>(num_threads));
+  const int num_nodes = std::max(1, machine.numa_nodes());
+  for (int tid = 0; tid < num_threads; ++tid) {
+    if (policy == numa::PinPolicy::Scatter) {
+      nodes[static_cast<std::size_t>(tid)] = tid % num_nodes;
+    } else {
+      const int core = tid % std::max(1, machine.cores());
+      nodes[static_cast<std::size_t>(tid)] = machine.node_of_core(core);
+    }
+  }
+  return nodes;
+}
+
+TaskPool::TaskPool(int num_threads, std::vector<int> thread_node, Schedule schedule)
+    : num_threads_(num_threads),
+      schedule_(schedule),
+      node_(std::move(thread_node)),
+      deques_(static_cast<std::size_t>(num_threads)),
+      counts_(static_cast<std::size_t>(num_threads)) {
+  NUSTENCIL_CHECK(num_threads >= 1, "TaskPool: need at least one thread");
+  NUSTENCIL_CHECK(static_cast<int>(node_.size()) == num_threads,
+                  "TaskPool: one node per thread required");
+  NUSTENCIL_CHECK(schedule != Schedule::Static,
+                  "TaskPool: the static schedule runs without a pool");
+
+  // Victim ranking per thief: same NUMA node first, then increasing
+  // simulated distance |node_v - node_t|; ties broken by ring distance
+  // from the thief so contention spreads instead of piling on thread 0.
+  victims_.resize(static_cast<std::size_t>(num_threads));
+  for (int tid = 0; tid < num_threads; ++tid) {
+    std::vector<int>& order = victims_[static_cast<std::size_t>(tid)];
+    for (int v = 0; v < num_threads; ++v) {
+      if (v == tid) continue;
+      const int dist = std::abs(node_[static_cast<std::size_t>(v)] -
+                                node_[static_cast<std::size_t>(tid)]);
+      if (schedule == Schedule::StealLocal && dist != 0) continue;
+      order.push_back(v);
+    }
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      const int da = std::abs(node_[static_cast<std::size_t>(a)] -
+                              node_[static_cast<std::size_t>(tid)]);
+      const int db = std::abs(node_[static_cast<std::size_t>(b)] -
+                              node_[static_cast<std::size_t>(tid)]);
+      if (da != db) return da < db;
+      return (a - tid + num_threads_) % num_threads_ <
+             (b - tid + num_threads_) % num_threads_;
+    });
+  }
+}
+
+void TaskPool::bind_metrics(metrics::Registry* reg) {
+  if (!reg) return;
+  m_attempts_ = &reg->counter("sched/steal_attempts");
+  m_steals_ = &reg->counter("sched/steal_success");
+  m_fails_ = &reg->counter("sched/steal_fail");
+  m_stolen_updates_ = &reg->counter("sched/stolen_updates");
+}
+
+void TaskPool::reset(int num_tasks, const std::function<int(int)>& owner_of) {
+  NUSTENCIL_CHECK(remaining_.load(std::memory_order_acquire) == 0,
+                  "TaskPool::reset: previous phase still has live tasks");
+  owner_.assign(static_cast<std::size_t>(num_tasks), 0);
+  for (auto& d : deques_) d.tasks.clear();
+  for (int i = 0; i < num_tasks; ++i) {
+    const int owner = owner_of(i);
+    NUSTENCIL_CHECK(owner >= 0 && owner < num_threads_,
+                    "TaskPool::reset: task owner out of range");
+    owner_[static_cast<std::size_t>(i)] = owner;
+    deques_[static_cast<std::size_t>(owner)].tasks.push_back(i);
+  }
+  remaining_.store(num_tasks, std::memory_order_release);
+}
+
+int TaskPool::pop_front(int tid) {
+  WorkDeque& d = deques_[static_cast<std::size_t>(tid)];
+  d.lock();
+  int task = -1;
+  if (!d.tasks.empty()) {
+    task = d.tasks.front();
+    d.tasks.pop_front();
+  }
+  d.unlock();
+  return task;
+}
+
+int TaskPool::steal_back(int victim) {
+  WorkDeque& d = deques_[static_cast<std::size_t>(victim)];
+  d.lock();
+  int task = -1;
+  if (!d.tasks.empty()) {
+    task = d.tasks.back();
+    d.tasks.pop_back();
+  }
+  d.unlock();
+  return task;
+}
+
+void TaskPool::push_back(int tid, int task) {
+  WorkDeque& d = deques_[static_cast<std::size_t>(tid)];
+  d.lock();
+  d.tasks.push_back(task);
+  d.unlock();
+}
+
+void TaskPool::run(int tid, const Step& step, const threading::AbortToken* abort,
+                   trace::ThreadRecorder* rec) {
+  SchedStats::Thread& my = counts_[static_cast<std::size_t>(tid)].counts;
+  const std::vector<int>& victims = victims_[static_cast<std::size_t>(tid)];
+  int backoff = 1;
+
+  const auto execute = [&](int task, bool stolen, int victim) {
+    StepResult r;
+    if (stolen && rec) {
+      const trace::ScopedSpan span(rec, trace::Phase::Steal,
+                                   {task, victim, -1, tid});
+      r = step(task, tid, stolen);
+    } else {
+      r = step(task, tid, stolen);
+    }
+    if (r == StepResult::Done) {
+      remaining_.fetch_sub(1, std::memory_order_acq_rel);
+    } else {
+      // Owner-first invariant: a yielded or blocked task returns to its
+      // owner's deque (at the back, so the owner round-robins the rest of
+      // its tiles before re-probing this one).
+      push_back(owner_[static_cast<std::size_t>(task)], task);
+      if (r == StepResult::Blocked) std::this_thread::yield();
+    }
+  };
+
+  while (remaining_.load(std::memory_order_acquire) > 0) {
+    if (abort) abort->check();
+    const int own = pop_front(tid);
+    if (own >= 0) {
+      backoff = 1;
+      execute(own, /*stolen=*/false, -1);
+      continue;
+    }
+    bool stole = false;
+    for (const int v : victims) {
+      ++my.steal_attempts;
+      if (m_attempts_) m_attempts_->add(tid);
+      const int task = steal_back(v);
+      if (task < 0) {
+        ++my.steal_fails;
+        if (m_fails_) m_fails_->add(tid);
+        continue;
+      }
+      ++my.steals;
+      counts_[static_cast<std::size_t>(v)].tasks_lost.fetch_add(
+          1, std::memory_order_relaxed);
+      if (m_steals_) m_steals_->add(tid);
+      backoff = 1;
+      execute(task, /*stolen=*/true, v);
+      stole = true;
+      break;
+    }
+    if (!stole) {
+      // Nothing anywhere: someone is finishing the last tasks.  Back off
+      // so the probe counters do not explode while we idle.
+      for (int i = 0; i < backoff; ++i) std::this_thread::yield();
+      backoff = std::min(backoff * 2, 64);
+    }
+  }
+}
+
+void TaskPool::add_stolen_updates(int tid, std::uint64_t updates) {
+  counts_[static_cast<std::size_t>(tid)].counts.stolen_updates += updates;
+  if (m_stolen_updates_) m_stolen_updates_->add(tid, updates);
+}
+
+SchedStats TaskPool::stats() const {
+  SchedStats s;
+  s.enabled = true;
+  s.schedule = schedule_name(schedule_);
+  s.threads.reserve(counts_.size());
+  for (const PerThread& t : counts_) {
+    SchedStats::Thread out = t.counts;
+    out.stolen_tasks = t.tasks_lost.load(std::memory_order_relaxed);
+    s.threads.push_back(out);
+  }
+  return s;
+}
+
+}  // namespace nustencil::sched

@@ -1,0 +1,25 @@
+#include "sched/schedule.hpp"
+
+#include "common/error.hpp"
+
+namespace nustencil::sched {
+
+Schedule parse_schedule(const std::string& name) {
+  if (name == "static") return Schedule::Static;
+  if (name == "steal") return Schedule::Steal;
+  if (name == "steal_local") return Schedule::StealLocal;
+  NUSTENCIL_CHECK(false, "unknown schedule '" + name +
+                             "' (expected static, steal or steal_local)");
+  return Schedule::Static;
+}
+
+const char* schedule_name(Schedule s) {
+  switch (s) {
+    case Schedule::Static: return "static";
+    case Schedule::Steal: return "steal";
+    case Schedule::StealLocal: return "steal_local";
+  }
+  return "?";
+}
+
+}  // namespace nustencil::sched

@@ -36,7 +36,7 @@ Index fitting_width(const core::Box& updatable, const core::StencilSpec& st,
 
 CatsPlan plan_cats(const core::Box& updatable, const core::StencilSpec& stencil,
                    const topology::MachineSpec& machine, int threads, long timesteps,
-                   bool numa_aware) {
+                   bool numa_aware, int tiles_per_thread) {
   NUSTENCIL_CHECK(updatable.rank() == 3, "CATS/nuCATS support 3D domains");
   const Index ny = updatable.extent(1);
   const Index min_wy = std::max<Index>(2 * stencil.order(), 2);
@@ -79,6 +79,15 @@ CatsPlan plan_cats(const core::Box& updatable, const core::StencilSpec& stencil,
         tiles = max_tiles;  // more threads than usable tiles; oversubscribe
       }
     }
+  }
+  if (tiles_per_thread > 1 && plan.z_segments == 1) {
+    // Refine by an integer multiplier: tile boundaries at ny*t/tiles scale
+    // exactly (ny * (m*t) / (m*tiles) == ny*t/tiles), so every thread's
+    // owned y-range stays identical to the unrefined plan and only the
+    // granularity available to thieves changes.
+    int m = tiles_per_thread;
+    while (m > 1 && tiles * m > max_tiles) --m;
+    tiles *= m;
   }
   plan.tiles_y = tiles;
   plan.wy = ceil_div(ny, tiles);
@@ -123,8 +132,13 @@ RunResult run_cats_like(const std::string& scheme_name, bool numa_aware,
   const int n = config.num_threads;
   const core::Box updatable =
       core::updatable_box(problem.shape(), problem.stencil(), config.boundary);
+  const bool stealing = config.schedule != sched::Schedule::Static;
+  // Stealing wants more tiles than threads so a lagging owner has
+  // something to give away; 4x is enough granularity without shrinking
+  // the wavefront below its cache-fitting width.
   const CatsPlan plan = plan_cats(updatable, problem.stencil(), sup.machine(), n,
-                                  config.timesteps, numa_aware);
+                                  config.timesteps, numa_aware,
+                                  /*tiles_per_thread=*/stealing ? 4 : 1);
   const int ntiles = plan.num_tiles();
   const int s = problem.stencil().order();
 
@@ -157,7 +171,124 @@ RunResult run_cats_like(const std::string& scheme_name, bool numa_aware,
   const Index zlo = updatable.lo[2], zhi = updatable.hi[2];
   const long tc_max = plan.chunk;
 
+  // Stealing state: one (position, chunk-step) cursor per tile.  A task
+  // advances its tile while every pipeline input is ready (non-blocking
+  // probes of the same progress counters the static path spin-waits on)
+  // and re-enqueues itself otherwise, so a thief can never wedge inside
+  // a spin-wait for work that sits in its own deque.
+  struct TileCursor {
+    Index p = 0;
+    long k = 0;
+  };
+  std::vector<TileCursor> cursors(static_cast<std::size_t>(ntiles));
+  sched::TaskPool* pool = stealing ? sup.pool() : nullptr;
+
   Timer timer;
+  if (stealing) {
+    sup.run_workers([&](int tid) {
+      trace::ThreadRecorder* rec = sup.recorder(tid);
+      for (long tb = 0; tb < config.timesteps; tb += tc_max) {
+        const long tc = std::min<long>(tc_max, config.timesteps - tb);
+        const trace::ScopedSpan layer_span(
+            rec, trace::Phase::Layer,
+            {static_cast<std::int32_t>(tb / tc_max), static_cast<std::int32_t>(tb),
+             static_cast<std::int32_t>(tc)});
+        const Index p_end = zhi + (tc - 1) * s;  // exclusive
+        if (tid == 0) {
+          for (auto& c : cursors) c = TileCursor{zlo, 0};
+          pool->reset(ntiles, [&](int i) {
+            return plan.owner[static_cast<std::size_t>(i)];
+          });
+        }
+        barrier.arrive_and_wait(&sup.abort(), rec);
+
+        // Readiness of plane (p, k) of tile i: the static path's waits,
+        // as non-blocking probes — including same-owner neighbours, which
+        // the static loop order satisfies implicitly but greedy per-tile
+        // cursors do not.
+        const auto ready = [&](int i, Index p, long k) {
+          const int ty = i % plan.tiles_y;
+          const int zs = i / plan.tiles_y;
+          if (p - s >= zlo && plan.tiles_y > 1) {
+            const long need = (p - s - zlo + 1) * tc_max;
+            const int left =
+                zs * plan.tiles_y + (ty + plan.tiles_y - 1) % plan.tiles_y;
+            const int right = zs * plan.tiles_y + (ty + 1) % plan.tiles_y;
+            if (left != i &&
+                progress[static_cast<std::size_t>(left)].current() < need)
+              return false;
+            if (right != i &&
+                progress[static_cast<std::size_t>(right)].current() < need)
+              return false;
+          }
+          if (plan.z_segments == 2) {
+            const int other = (1 - zs) * plan.tiles_y + ty;
+            if (other != i) {
+              if (zs == 1 && p - s - 1 >= zlo &&
+                  progress[static_cast<std::size_t>(other)].current() <
+                      (p - s - zlo) * tc_max)
+                return false;
+              if (zs == 0 && k > 0 &&
+                  progress[static_cast<std::size_t>(other)].current() <
+                      (p - zlo) * tc_max + k)
+                return false;
+            }
+          }
+          return true;
+        };
+
+        pool->run(
+            tid,
+            [&](int i, int wtid, bool stolen) {
+              TileCursor& cur = cursors[static_cast<std::size_t>(i)];
+              const core::Box& tile = plan.tiles[static_cast<std::size_t>(i)];
+              core::Executor& ex = sup.executor(wtid);
+              bool advanced = false;
+              while (cur.p < p_end) {
+                if (!ready(i, cur.p, cur.k))
+                  return advanced ? sched::StepResult::Yield
+                                  : sched::StepResult::Blocked;
+                const long code_base = (cur.p - zlo) * tc_max;
+                const Index z = cur.p - cur.k * s;
+                if (z >= tile.lo[2] && z < tile.hi[2]) {
+                  core::Box box = tile;
+                  box.lo[2] = z;
+                  box.hi[2] = z + 1;
+                  const Index before = ex.updates_done();
+                  ex.update_box(box, tb + cur.k, wtid);
+                  if (stolen)
+                    pool->add_stolen_updates(wtid, ex.updates_done() - before);
+                }
+                progress[static_cast<std::size_t>(i)].advance_to(code_base +
+                                                                 cur.k + 1);
+                advanced = true;
+                if (++cur.k >= tc) {
+                  progress[static_cast<std::size_t>(i)].advance_to(code_base +
+                                                                   tc_max);
+                  cur.k = 0;
+                  ++cur.p;
+                }
+              }
+              return sched::StepResult::Done;
+            },
+            &sup.abort(), rec);
+        barrier.arrive_and_wait(&sup.abort(), rec);
+        if (tb + tc < config.timesteps) {
+          if (tid == 0)
+            for (auto& c : progress) c.reset();
+          barrier.arrive_and_wait(&sup.abort(), rec);
+        }
+      }
+    });
+    const double seconds_steal = timer.seconds();
+    RunResult r = sup.finish(scheme_name, seconds_steal);
+    r.details["chunk"] = static_cast<double>(plan.chunk);
+    r.details["tile_width_y"] = static_cast<double>(plan.wy);
+    r.details["tiles"] = static_cast<double>(ntiles);
+    r.details["z_segments"] = static_cast<double>(plan.z_segments);
+    return r;
+  }
+
   sup.run_workers([&](int tid) {
     core::Executor& exec = sup.executor(tid);
     trace::ThreadRecorder* rec = sup.recorder(tid);

@@ -42,9 +42,15 @@ struct CatsPlan {
 
 /// Computes the tiling for either scheme. `numa_aware` selects the nuCATS
 /// tile-count adjustment + ownership assignment versus CATS round-robin.
+/// `tiles_per_thread` > 1 (used by the stealing schedules) refines the
+/// y-tiling by an integer multiplier so thieves can take fractions of a
+/// subdomain; the multiplier keeps every thread's owned y-range — and
+/// hence the nuCATS first-touch placement — identical to the unrefined
+/// plan, and is reduced (down to 1) when the minimum tile width or a
+/// z-segmented plan forbids refining.
 CatsPlan plan_cats(const core::Box& updatable, const core::StencilSpec& stencil,
                    const topology::MachineSpec& machine, int threads, long timesteps,
-                   bool numa_aware);
+                   bool numa_aware, int tiles_per_thread = 1);
 
 /// Shared run implementation; `numa_aware` controls init and assignment.
 RunResult run_cats_like(const std::string& scheme_name, bool numa_aware,

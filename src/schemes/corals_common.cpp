@@ -80,7 +80,31 @@ void wait_on_region(const core::Box& region, Index u, int rank, const TileState&
   }
 }
 
-/// Local synchronisation for `base` of tile `my_tc` at time step t.
+/// Non-blocking variant of wait_on_region: true when tile `nb` has
+/// already completed, through time u, every base whose local part
+/// overlaps the producer region.  Probes the same progress counters the
+/// blocking wait spins on, so a stealing scheduler can test readiness
+/// without wedging a thief.
+bool region_ready(const core::Box& region, Index u, int rank, const TileState& nb) {
+  for (std::size_t k = 0; k < nb.bases.size(); ++k) {
+    const SpaceTimeTile& nbase = nb.bases[k];
+    if (u < nbase.t0 || u >= nbase.t1) continue;
+    if (nb.progress[k].current() >= u + 1) continue;  // already far enough
+    const core::Box nbox = nbase.box_at(u);
+    bool overlap = true;
+    for (int e = 0; e < rank && overlap; ++e) {
+      const Index lo = std::max({nbox.lo[e], clip_lo(nb, e, u), region.lo[e]});
+      const Index hi = std::min({nbox.hi[e], clip_hi(nb, e, u), region.hi[e]});
+      overlap = lo < hi;
+    }
+    if (overlap) return false;
+  }
+  return true;
+}
+
+/// Enumerates the producer regions of `base` of tile `my_tc` at time
+/// step t and invokes fn(shifted_region, u, nb, nb_tile) for each; fn
+/// returning false stops the enumeration (and makes this return false).
 ///
 /// Inputs that cross the right window boundary in a decomposed dimension d
 /// form the producer region
@@ -89,13 +113,13 @@ void wait_on_region(const core::Box& region, Index u, int rank, const TileState&
 /// extend past the d-neighbour's window in any other decomposed dimension
 /// e (the top-s "overhang") — those points belong to the *diagonal*
 /// neighbour, so all offset combinations {d:+1} x {e: 0 or +1} must be
-/// waited on, each with its periodic wrap shift.
-void wait_on_right_neighbors(const std::vector<TileState>& states, const TileState& mine,
+/// visited, each with its periodic wrap shift.
+template <typename Fn>
+bool for_each_right_producer(const std::vector<TileState>& states, const TileState& mine,
                              const Coord& my_tc, const Coord& counts, const Coord& shape,
                              const SpaceTimeTile& base, Index t, int rank, int s,
-                             const threading::AbortToken& abort,
-                             trace::ThreadRecorder* rec) {
-  if (t < 1) return;  // time-0 inputs come from the previous layer
+                             Fn&& fn) {
+  if (t < 1) return true;  // time-0 inputs come from the previous layer
   const Index u = t - 1;
   const core::Box bb = base.box_at(t);
 
@@ -106,7 +130,7 @@ void wait_on_right_neighbors(const std::vector<TileState>& states, const TileSta
   for (int e = 0; e < rank; ++e) {
     cells.lo[e] = std::max(bb.lo[e], clip_lo(mine, e, t));
     cells.hi[e] = std::min(bb.hi[e], clip_hi(mine, e, t));
-    if (cells.lo[e] >= cells.hi[e]) return;
+    if (cells.lo[e] >= cells.hi[e]) return true;
   }
 
   for (int d = 0; d < rank; ++d) {
@@ -147,9 +171,37 @@ void wait_on_right_neighbors(const std::vector<TileState>& states, const TileSta
       const int nb_tile = tile_index(counts, nb_tc);
       const TileState& nb = states[static_cast<std::size_t>(nb_tile)];
       if (&nb == &mine) continue;
-      wait_on_region(shifted, u, rank, nb, abort, rec, nb_tile);
+      if (!fn(shifted, u, nb, nb_tile)) return false;
     }
   }
+  return true;
+}
+
+/// Local synchronisation for `base` of tile `my_tc` at time step t (see
+/// for_each_right_producer for the geometry).
+void wait_on_right_neighbors(const std::vector<TileState>& states, const TileState& mine,
+                             const Coord& my_tc, const Coord& counts, const Coord& shape,
+                             const SpaceTimeTile& base, Index t, int rank, int s,
+                             const threading::AbortToken& abort,
+                             trace::ThreadRecorder* rec) {
+  for_each_right_producer(states, mine, my_tc, counts, shape, base, t, rank, s,
+                          [&](const core::Box& region, Index u, const TileState& nb,
+                              int nb_tile) {
+                            wait_on_region(region, u, rank, nb, abort, rec, nb_tile);
+                            return true;
+                          });
+}
+
+/// True when every producer of `base` at time t has progressed far
+/// enough that the local part can be computed without waiting.
+bool right_neighbors_ready(const std::vector<TileState>& states, const TileState& mine,
+                           const Coord& my_tc, const Coord& counts, const Coord& shape,
+                           const SpaceTimeTile& base, Index t, int rank, int s) {
+  return for_each_right_producer(
+      states, mine, my_tc, counts, shape, base, t, rank, s,
+      [&](const core::Box& region, Index u, const TileState& nb, int /*nb_tile*/) {
+        return region_ready(region, u, rank, nb);
+      });
 }
 
 }  // namespace
@@ -213,15 +265,31 @@ RunResult run_corals_like(core::Problem& problem, const RunConfig& config,
   std::vector<TileState> states(static_cast<std::size_t>(n));
   threading::Barrier barrier(n);
 
+  // Stealing state: a (base, time) cursor per tile plus each tile's
+  // coordinate for the producer enumeration.  A task advances through its
+  // bases in the same order the static path uses, probing the neighbour
+  // progress counters non-blockingly and re-enqueueing itself when a
+  // producer is behind.
+  const bool stealing = config.schedule != sched::Schedule::Static;
+  struct TileCursor {
+    std::size_t j = 0;
+    Index t = 0;
+  };
+  std::vector<TileCursor> cursors(static_cast<std::size_t>(n));
+  std::vector<Coord> tile_coords;
+  for (int i = 0; i < n; ++i) tile_coords.push_back(tile_coord(counts, i));
+  sched::TaskPool* pool = stealing ? sup.pool() : nullptr;
+
   Timer timer;
   sup.run_workers([&](int tid) {
     core::Executor& exec = sup.executor(tid);
     trace::ThreadRecorder* rec = sup.recorder(tid);
-    // The scheme records its own per-step tile spans below (they include
-    // the box/clip geometry between kernel calls, which is significant for
-    // cache-sized bases); suppress the executor's inner span so the time
-    // is not counted twice.
-    exec.set_trace(nullptr);
+    // The static path records its own per-step tile spans below (they
+    // include the box/clip geometry between kernel calls, which is
+    // significant for cache-sized bases); suppress the executor's inner
+    // span so the time is not counted twice.  The stealing path executes
+    // through the pool and keeps the executor's spans instead.
+    if (!stealing) exec.set_trace(nullptr);
     const int my_tile = [&] {
       for (int i = 0; i < n; ++i)
         if (owner_of(i) == tid) return i;
@@ -265,7 +333,50 @@ RunResult run_corals_like(core::Problem& problem, const RunConfig& config,
         }
         for (std::size_t k = 0; k < mine.progress_size; ++k) mine.progress[k].reset();
       }
+      if (stealing && tid == 0) {
+        for (auto& c : cursors) c = TileCursor{};
+        pool->reset(n, owner_of);
+      }
       barrier.arrive_and_wait(&sup.abort(), rec);
+
+      if (stealing) {
+        pool->run(
+            tid,
+            [&](int i, int wtid, bool stolen) {
+              TileState& ts = states[static_cast<std::size_t>(i)];
+              TileCursor& cur = cursors[static_cast<std::size_t>(i)];
+              core::Executor& ex = sup.executor(wtid);
+              bool advanced = false;
+              while (cur.j < ts.bases.size()) {
+                const SpaceTimeTile& base = ts.bases[cur.j];
+                if (cur.t < base.t0) cur.t = base.t0;
+                while (cur.t < base.t1) {
+                  if (!right_neighbors_ready(states, ts,
+                                             tile_coords[static_cast<std::size_t>(i)],
+                                             counts, shape, base, cur.t, rank, s))
+                    return advanced ? sched::StepResult::Yield
+                                    : sched::StepResult::Blocked;
+                  const core::Box box =
+                      intersect(base.box_at(cur.t), clip_box(ts, rank, cur.t));
+                  if (!box.empty()) {
+                    const Index before = ex.updates_done();
+                    ex.update_box(box, tb + cur.t, wtid);
+                    if (stolen)
+                      pool->add_stolen_updates(wtid, ex.updates_done() - before);
+                  }
+                  ts.progress[cur.j].advance_to(cur.t + 1);
+                  ++cur.t;
+                  advanced = true;
+                }
+                ++cur.j;
+                cur.t = 0;
+              }
+              return sched::StepResult::Done;
+            },
+            &sup.abort(), rec);
+        barrier.arrive_and_wait(&sup.abort(), rec);
+        continue;
+      }
 
       // Execution phase.  Tile spans chain end-to-start (one clock read
       // per step) so the inter-step bookkeeping — neighbour progress scan,

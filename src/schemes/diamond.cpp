@@ -29,6 +29,10 @@ RunResult DiamondScheme::run(core::Problem& problem, const RunConfig& config) co
   const int rank = problem.shape().rank();
   NUSTENCIL_CHECK(config.boundary.all_periodic(rank),
                   "Diamond scheme requires periodic boundaries");
+  NUSTENCIL_CHECK(config.schedule == sched::Schedule::Static,
+                  "PLuTo diamond supports only --schedule=static (its "
+                  "wavefront phases have no owner-first decomposition to "
+                  "steal from)");
   RunSupport sup(problem, config);
   const int n = config.num_threads;
   const int s = problem.stencil().order();

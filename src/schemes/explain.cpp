@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "core/spacetime.hpp"
+#include "numa/traffic.hpp"
+#include "sched/pool.hpp"
 #include "schemes/cats_common.hpp"
 #include "schemes/decompose.hpp"
 #include "schemes/diamond.hpp"
@@ -113,7 +115,7 @@ void describe_corals(std::ostringstream& os, const Coord& shape,
 std::string describe_plan(const std::string& name, const Coord& shape,
                           const core::StencilSpec& stencil,
                           const topology::MachineSpec& machine, int threads,
-                          long timesteps) {
+                          long timesteps, sched::Schedule schedule) {
   std::ostringstream os;
   os << name << " on " << shape << ", s=" << stencil.order()
      << (stencil.banded() ? " (banded)" : "") << ", " << timesteps << " steps, "
@@ -150,6 +152,28 @@ std::string describe_plan(const std::string& name, const Coord& shape,
        << "  initialisation          : serial (NUMA-ignorant)\n";
   } else {
     throw Error("describe_plan: unknown scheme '" + name + "'");
+  }
+
+  os << "scheduling: " << sched::schedule_name(schedule);
+  if (schedule == sched::Schedule::Static) {
+    os << " (owner-computes; every tile runs on the thread whose node "
+          "first-touched it)\n";
+  } else {
+    os << " (owner-first deques; an idle thread steals from the far end of "
+          "the nearest busy victim"
+       << (schedule == sched::Schedule::StealLocal ? ", same NUMA node only)\n"
+                                                   : ")\n");
+    const sched::TaskPool pool(
+        threads, sched::thread_nodes(machine, numa::PinPolicy::Compact, threads),
+        schedule);
+    for (int tid = 0; tid < threads; ++tid) {
+      os << "  victim order thread " << tid << " : ";
+      const auto& order = pool.victim_order(tid);
+      if (order.empty()) os << "(none)";
+      for (std::size_t i = 0; i < order.size(); ++i)
+        os << (i ? ", " : "") << order[i];
+      os << '\n';
+    }
   }
   return os.str();
 }

@@ -9,6 +9,7 @@
 
 #include "core/boundary.hpp"
 #include "core/stencil.hpp"
+#include "sched/schedule.hpp"
 #include "topology/machine.hpp"
 
 namespace nustencil::schemes {
@@ -16,6 +17,7 @@ namespace nustencil::schemes {
 std::string describe_plan(const std::string& scheme_name, const Coord& shape,
                           const core::StencilSpec& stencil,
                           const topology::MachineSpec& machine, int threads,
-                          long timesteps);
+                          long timesteps,
+                          sched::Schedule schedule = sched::Schedule::Static);
 
 }  // namespace nustencil::schemes

@@ -8,6 +8,37 @@
 
 namespace nustencil::schemes {
 
+namespace {
+
+/// Splits `box` into up to `parts` slabs along its longest dimension
+/// other than the unit-stride one (splitting x would change the row
+/// segmentation the kernels see; y/z splits only re-order whole rows, so
+/// results stay bit-identical to the unsplit sweep).  Rank-1 boxes are
+/// returned whole for the same reason.
+std::vector<core::Box> split_for_stealing(const core::Box& box, int parts) {
+  std::vector<core::Box> out;
+  if (box.empty()) return out;
+  const int rank = box.rank();
+  int d = -1;
+  for (int e = 1; e < rank; ++e)
+    if (d < 0 || box.extent(e) > box.extent(d)) d = e;
+  if (d < 0 || box.extent(d) < 2) {
+    out.push_back(box);
+    return out;
+  }
+  const Index extent = box.extent(d);
+  const Index k = std::min<Index>(extent, parts);
+  for (Index i = 0; i < k; ++i) {
+    core::Box b = box;
+    b.lo[d] = box.lo[d] + extent * i / k;
+    b.hi[d] = box.lo[d] + extent * (i + 1) / k;
+    if (!b.empty()) out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace
+
 RunResult NaiveScheme::run(core::Problem& problem, const RunConfig& config) const {
   RunSupport sup(problem, config);
   const int n = config.num_threads;
@@ -29,20 +60,68 @@ RunResult NaiveScheme::run(core::Problem& problem, const RunConfig& config) cons
       core::updatable_box(problem.shape(), problem.stencil(), config.boundary);
 
   threading::Barrier barrier(n);
+
+  if (config.schedule == sched::Schedule::Static) {
+    Timer timer;
+    sup.run_workers([&](int tid) {
+      const core::Box mine = intersect(tiles[static_cast<std::size_t>(tid)], updatable);
+      core::Executor& exec = sup.executor(tid);
+      trace::ThreadRecorder* rec = sup.recorder(tid);
+      for (long t = 0; t < config.timesteps; ++t) {
+        exec.update_box(mine, t, tid);
+        barrier.arrive_and_wait(&sup.abort(), rec);
+      }
+    });
+    const double seconds = timer.seconds();
+
+    RunResult r = sup.finish(name(), seconds);
+    r.details["tiles"] = static_cast<double>(n);
+    return r;
+  }
+
+  // Work-stealing schedule: refine every thread's slab into subtiles so
+  // thieves can pick up fractions of an oversized slab, keeping the
+  // owner on its own pages for the un-stolen majority.
+  sched::TaskPool& pool = *sup.pool();
+  std::vector<core::Box> tasks;
+  std::vector<int> task_owner;
+  for (int tid = 0; tid < n; ++tid) {
+    const core::Box mine = intersect(tiles[static_cast<std::size_t>(tid)], updatable);
+    for (const core::Box& b : split_for_stealing(mine, 8)) {
+      tasks.push_back(b);
+      task_owner.push_back(tid);
+    }
+  }
+  const int ntasks = static_cast<int>(tasks.size());
+  const auto owner_of = [&](int i) {
+    return task_owner[static_cast<std::size_t>(i)];
+  };
+
   Timer timer;
   sup.run_workers([&](int tid) {
-    const core::Box mine = intersect(tiles[static_cast<std::size_t>(tid)], updatable);
-    core::Executor& exec = sup.executor(tid);
     trace::ThreadRecorder* rec = sup.recorder(tid);
     for (long t = 0; t < config.timesteps; ++t) {
-      exec.update_box(mine, t, tid);
+      if (tid == 0) pool.reset(ntasks, owner_of);
+      barrier.arrive_and_wait(&sup.abort(), rec);
+      pool.run(
+          tid,
+          [&](int task, int wtid, bool stolen) {
+            core::Executor& exec = sup.executor(wtid);
+            const Index before = exec.updates_done();
+            exec.update_box(tasks[static_cast<std::size_t>(task)], t, wtid);
+            if (stolen) pool.add_stolen_updates(wtid, exec.updates_done() - before);
+            return sched::StepResult::Done;
+          },
+          &sup.abort(), rec);
+      // Fences the reset of the next step: every worker must have left
+      // run() before tid 0 rebuilds the deques.
       barrier.arrive_and_wait(&sup.abort(), rec);
     }
   });
   const double seconds = timer.seconds();
 
   RunResult r = sup.finish(name(), seconds);
-  r.details["tiles"] = static_cast<double>(n);
+  r.details["tiles"] = static_cast<double>(ntasks);
   return r;
 }
 

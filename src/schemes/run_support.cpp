@@ -75,6 +75,18 @@ int RunSupport::node_of_thread(int tid) const {
   return topo_ ? topo_->node_of_thread(tid) : 0;
 }
 
+sched::TaskPool* RunSupport::pool() {
+  if (config_->schedule == sched::Schedule::Static) return nullptr;
+  if (!pool_) {
+    pool_ = std::make_unique<sched::TaskPool>(
+        config_->num_threads,
+        sched::thread_nodes(*machine_, config_->pin_policy, config_->num_threads),
+        config_->schedule);
+    pool_->bind_metrics(config_->metrics);
+  }
+  return pool_.get();
+}
+
 void RunSupport::serial_init() {
   core::Box whole;
   whole.lo = Coord::filled(problem_->shape().rank(), 0);
@@ -128,6 +140,14 @@ RunResult RunSupport::finish(const std::string& scheme_name, double seconds) {
   if (recorder_) r.traffic = recorder_->collect();
   if (trace_) r.phases = trace_->breakdown();
   if (checker_) checker_->check_all_at(config_->timesteps);
+  if (pool_) {
+    r.sched = pool_->stats();
+    r.details["steal_attempts"] = static_cast<double>(r.sched.total_attempts());
+    r.details["steals"] = static_cast<double>(r.sched.total_steals());
+    r.details["steal_fails"] = static_cast<double>(r.sched.total_fails());
+    r.details["stolen_updates"] =
+        static_cast<double>(r.sched.total_stolen_updates());
+  }
   return r;
 }
 

@@ -12,6 +12,7 @@
 #include "core/reference.hpp"
 #include "numa/page_table.hpp"
 #include "numa/traffic.hpp"
+#include "sched/pool.hpp"
 #include "schemes/scheme.hpp"
 #include "thread/abort.hpp"
 #include "thread/team.hpp"
@@ -51,6 +52,14 @@ class RunSupport {
   /// placement of the instrumented machine; 0 when not instrumenting.
   int node_of_thread(int tid) const;
 
+  /// Work-stealing task pool of this run, or nullptr under the static
+  /// schedule.  Created on first call (call before workers start: the
+  /// pool resolves metrics counters, which is not thread-safe) and
+  /// placed with the same machine/pin-policy node map the traffic
+  /// instrumentation uses, so victim ordering is NUMA-aware even when
+  /// instrumentation is off.  finish() folds its stats into the result.
+  sched::TaskPool* pool();
+
   /// Serial allocation/initialisation by "thread 0": fills the whole
   /// problem and first-touches every page on node 0 — exactly what a
   /// NUMA-ignorant scheme gets from the kernel.
@@ -80,6 +89,7 @@ class RunSupport {
   std::optional<core::DependencyChecker> checker_;
   std::vector<std::unique_ptr<core::Executor>> executors_;
   std::unique_ptr<threading::Team> team_;
+  std::unique_ptr<sched::TaskPool> pool_;
   threading::AbortToken abort_;
 };
 

@@ -17,6 +17,7 @@
 #include "core/kernels.hpp"
 #include "metrics/registry.hpp"
 #include "numa/traffic.hpp"
+#include "sched/schedule.hpp"
 #include "topology/machine.hpp"
 #include "trace/trace.hpp"
 
@@ -43,6 +44,12 @@ struct RunConfig {
 
   /// Pin worker threads to host cores (harmless no-op on small hosts).
   bool pin_threads = false;
+
+  /// Tile scheduling policy.  Static keeps the owner-computes loops of
+  /// the paper bit-identical to the pre-scheduler code path; Steal adds
+  /// NUMA-distance-ordered work stealing over owner-first deques;
+  /// StealLocal restricts victims to the thief's own node (sched/).
+  sched::Schedule schedule = sched::Schedule::Static;
 
   /// Optional trace-driven cache simulation: when set, the executors feed
   /// their (row-granular) access stream into this hierarchy with real
@@ -98,6 +105,10 @@ struct RunResult {
   Index updates = 0;
   numa::TrafficStats traffic;           ///< empty unless instrumented
   std::map<std::string, double> details;  ///< scheme-specific parameters
+
+  /// Work-stealing statistics; `sched.enabled` stays false under the
+  /// static schedule (nothing can be stolen without a pool).
+  sched::SchedStats sched;
 
   /// Per-thread, per-phase wall-time totals (compute, barrier wait, spin
   /// wait, init) plus the load-imbalance ratio; `phases.enabled` is false

@@ -56,6 +56,15 @@ RunResult TrapezoidScheme::run(core::Problem& problem, const RunConfig& config) 
   domain.lo = Coord::filled(rank, 0);
   domain.hi = problem.shape();
 
+  // Under a stealing schedule each trapezoid becomes one task; the
+  // owner map keeps the static round-robin (task i on thread i % n), so
+  // an un-stolen run executes the same trapezoids on the same threads.
+  // Phase A trapezoids are mutually independent, as are phase B ones
+  // (they only read phase A results, fenced by the barrier), so tasks
+  // never block.
+  sched::TaskPool* pool = sup.pool();
+  const auto round_robin = [n](int i) { return i % n; };
+
   threading::Barrier barrier(n);
   Timer timer;
   sup.run_workers([&](int tid) {
@@ -67,28 +76,71 @@ RunResult TrapezoidScheme::run(core::Problem& problem, const RunConfig& config) 
           rec, trace::Phase::Layer,
           {static_cast<std::int32_t>(tb / h), static_cast<std::int32_t>(tb),
            static_cast<std::int32_t>(hb)});
-      // Phase A: shrinking trapezoids [zi + s*dt, zi+1 - s*dt).
-      for (int i = tid; i < k; i += n) {
-        const Index lo = nd * i / k, hi = nd * (i + 1) / k;
-        for (long dt = 0; dt < hb; ++dt) {
-          core::Box box = domain;
-          box.lo[d] = lo + s * dt;
-          box.hi[d] = hi - s * dt;
-          if (!box.empty()) exec.update_box(box, tb + dt, tid);
+      if (!pool) {
+        // Phase A: shrinking trapezoids [zi + s*dt, zi+1 - s*dt).
+        for (int i = tid; i < k; i += n) {
+          const Index lo = nd * i / k, hi = nd * (i + 1) / k;
+          for (long dt = 0; dt < hb; ++dt) {
+            core::Box box = domain;
+            box.lo[d] = lo + s * dt;
+            box.hi[d] = hi - s * dt;
+            if (!box.empty()) exec.update_box(box, tb + dt, tid);
+          }
         }
+        barrier.arrive_and_wait(&sup.abort(), rec);
+        // Phase B: expanding trapezoids [bi - s*dt, bi + s*dt) around each
+        // tile boundary bi (the ring boundary included).
+        for (int i = tid; i < k; i += n) {
+          const Index b = nd * (i + 1) / k;  // boundary between tile i and i+1
+          for (long dt = 1; dt < hb; ++dt) {
+            core::Box box = domain;
+            box.lo[d] = b - s * dt;
+            box.hi[d] = b + s * dt;
+            exec.update_box(box, tb + dt, tid);
+          }
+        }
+        barrier.arrive_and_wait(&sup.abort(), rec);
+        continue;
       }
+      // Stealing: reset -> barrier -> drain, once per phase; the barrier
+      // after each drain fences the next reset.
+      if (tid == 0) pool->reset(k, round_robin);
       barrier.arrive_and_wait(&sup.abort(), rec);
-      // Phase B: expanding trapezoids [bi - s*dt, bi + s*dt) around each
-      // tile boundary bi (the ring boundary included).
-      for (int i = tid; i < k; i += n) {
-        const Index b = nd * (i + 1) / k;  // boundary between tile i and i+1
-        for (long dt = 1; dt < hb; ++dt) {
-          core::Box box = domain;
-          box.lo[d] = b - s * dt;
-          box.hi[d] = b + s * dt;
-          exec.update_box(box, tb + dt, tid);
-        }
-      }
+      pool->run(
+          tid,
+          [&](int i, int wtid, bool stolen) {
+            core::Executor& ex = sup.executor(wtid);
+            const Index before = ex.updates_done();
+            const Index lo = nd * i / k, hi = nd * (i + 1) / k;
+            for (long dt = 0; dt < hb; ++dt) {
+              core::Box box = domain;
+              box.lo[d] = lo + s * dt;
+              box.hi[d] = hi - s * dt;
+              if (!box.empty()) ex.update_box(box, tb + dt, wtid);
+            }
+            if (stolen) pool->add_stolen_updates(wtid, ex.updates_done() - before);
+            return sched::StepResult::Done;
+          },
+          &sup.abort(), rec);
+      barrier.arrive_and_wait(&sup.abort(), rec);
+      if (tid == 0) pool->reset(k, round_robin);
+      barrier.arrive_and_wait(&sup.abort(), rec);
+      pool->run(
+          tid,
+          [&](int i, int wtid, bool stolen) {
+            core::Executor& ex = sup.executor(wtid);
+            const Index before = ex.updates_done();
+            const Index b = nd * (i + 1) / k;  // boundary between tile i and i+1
+            for (long dt = 1; dt < hb; ++dt) {
+              core::Box box = domain;
+              box.lo[d] = b - s * dt;
+              box.hi[d] = b + s * dt;
+              ex.update_box(box, tb + dt, wtid);
+            }
+            if (stolen) pool->add_stolen_updates(wtid, ex.updates_done() - before);
+            return sched::StepResult::Done;
+          },
+          &sup.abort(), rec);
       barrier.arrive_and_wait(&sup.abort(), rec);
     }
   });

@@ -17,6 +17,7 @@ const char* phase_name(Phase p) {
     case Phase::SpinWait: return "spinflag-wait";
     case Phase::Parallelogram: return "parallelogram";
     case Phase::Layer: return "layer";
+    case Phase::Steal: return "steal";
     case Phase::kCount: break;
   }
   return "?";
@@ -93,6 +94,7 @@ const char* phase_category(Phase p) {
     case Phase::SpinWait: return "wait";
     case Phase::Parallelogram:
     case Phase::Layer: return "structure";
+    case Phase::Steal: return "steal";
     case Phase::kCount: break;
   }
   return "?";
@@ -114,6 +116,7 @@ ArgNames phase_arg_names(Phase p) {
     case Phase::SpinWait: return {"target", nullptr, nullptr};
     case Phase::Parallelogram: return {"base", "layer", nullptr};
     case Phase::Layer: return {"layer", "t0", "height"};
+    case Phase::Steal: return {"task", "victim", nullptr};
     case Phase::kCount: break;
   }
   return {nullptr, nullptr, nullptr};

@@ -36,6 +36,7 @@ enum class Phase : std::uint8_t {
   SpinWait,       ///< spinning on a FlagArray / ProgressCounter (leaf)
   Parallelogram,  ///< one base parallelogram, CORALS family (structural)
   Layer,          ///< one temporal layer / chunk between barriers (structural)
+  Steal,          ///< a stolen task executing on a thief thread (structural)
   kCount
 };
 

@@ -89,5 +89,32 @@ TEST(ArgParser, GetDouble) {
   EXPECT_DOUBLE_EQ(p.get_double("ratio"), 2.25);
 }
 
+TEST(ArgParser, ValidateThreadCountAcceptsSaneValues) {
+  EXPECT_EQ(ArgParser::validate_thread_count(1, 32), 1);
+  EXPECT_EQ(ArgParser::validate_thread_count(32, 32), 32);
+}
+
+TEST(ArgParser, ValidateThreadCountRejectsNonPositive) {
+  EXPECT_THROW(ArgParser::validate_thread_count(0, 32), Error);
+  EXPECT_THROW(ArgParser::validate_thread_count(-3, 32), Error);
+  try {
+    ArgParser::validate_thread_count(-3, 32);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("-3"), std::string::npos);
+  }
+}
+
+TEST(ArgParser, ValidateThreadCountRejectsMoreThanMachineCores) {
+  EXPECT_THROW(ArgParser::validate_thread_count(33, 32), Error);
+  try {
+    ArgParser::validate_thread_count(33, 32);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("33"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("32"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace nustencil

@@ -36,13 +36,15 @@ TEST(Schema, RunReportTopLevelKeysAreGolden) {
   const std::vector<std::string> golden = {
       "schema_version", "generator", "config",   "machine",
       "result",         "traffic",   "cache",    "phases",
-      "model",          "counters",  "gauges",   "histograms"};
+      "sched",          "model",     "counters", "gauges",
+      "histograms"};
   EXPECT_EQ(run_report_top_level_keys(), golden);
 }
 
 TEST(Schema, VersionIsPinned) {
   // Bumped deliberately whenever a golden list above changes.
-  EXPECT_EQ(kRunReportSchemaVersion, 1);
+  // v2: top-level "sched" section + config.schedule.
+  EXPECT_EQ(kRunReportSchemaVersion, 2);
 }
 
 TEST(Schema, EmittedDocumentMatchesDeclaredKeys) {

@@ -185,6 +185,11 @@ int main(int argc, char** argv) try {
   args.add_option("shape", "domain extents, e.g. 128x128x128", "64x64x64");
   args.add_option("steps", "time steps (the paper runs 100)", "100");
   args.add_option("threads", "worker threads", "4");
+  args.add_option("schedule",
+                  "tile schedule: static (owner-computes), steal "
+                  "(NUMA-distance-ordered work stealing), or steal_local "
+                  "(steal only within the owner's NUMA node)",
+                  "static");
   args.add_option("sweep-threads", "comma-separated thread counts (overrides --threads)",
                   "");
   args.add_option("order", "stencil order s", "1");
@@ -233,13 +238,18 @@ int main(int argc, char** argv) try {
       : (shape.rank() == 3 && order == 1) ? core::StencilSpec::paper_3d7p()
                                           : core::StencilSpec::stable_star(shape.rank(), order);
 
-  std::vector<int> thread_counts = parse_int_list(args.get("sweep-threads"));
-  if (thread_counts.empty())
-    thread_counts.push_back(static_cast<int>(args.get_long("threads")));
-
   topology::MachineSpec machine_storage;
   const topology::MachineSpec* machine =
       machine_by_name(args.get("machine"), machine_storage);
+
+  std::vector<int> thread_counts;
+  for (const int t : parse_int_list(args.get("sweep-threads")))
+    thread_counts.push_back(ArgParser::validate_thread_count(t, machine->cores()));
+  if (thread_counts.empty())
+    thread_counts.push_back(ArgParser::validate_thread_count(
+        args.get_long("threads"), machine->cores()));
+
+  const sched::Schedule schedule = sched::parse_schedule(args.get("schedule"));
 
   const core::KernelPolicy kernel_policy =
       args.get_flag("no-simd") ? core::KernelPolicy::Scalar
@@ -258,7 +268,7 @@ int main(int argc, char** argv) try {
   if (args.get_flag("explain")) {
     std::cout << schemes::describe_plan(args.get("scheme"), shape, stencil, *machine,
                                         thread_counts.front(),
-                                        args.get_long("steps"))
+                                        args.get_long("steps"), schedule)
               << core::explain_kernel_choice(kernel_policy, stencil.npoints(),
                                              stencil.banded())
               << trace::describe_observability(trace_path, trace_svg_path,
@@ -282,6 +292,7 @@ int main(int argc, char** argv) try {
     cfg.use_simd = !args.get_flag("no-simd");
     cfg.kernel = kernel_policy;
     cfg.pin_threads = args.get_flag("pin");
+    cfg.schedule = schedule;
     cfg.machine = machine;
     cfg.seed = static_cast<unsigned>(args.get_long("seed"));
     if (args.get_flag("dirichlet")) cfg.boundary = core::Boundary::dirichlet();
@@ -342,6 +353,8 @@ int main(int argc, char** argv) try {
       rep.seed = cfg.seed;
       rep.pin_policy =
           cfg.pin_policy == numa::PinPolicy::Compact ? "compact" : "scatter";
+      rep.schedule = sched::schedule_name(schedule);
+      rep.sched = result.sched;
       rep.machine = machine;
       rep.seconds = result.seconds;
       rep.updates = result.updates;
