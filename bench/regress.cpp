@@ -172,8 +172,13 @@ int compare(const std::vector<Case>& fresh, const metrics::JsonValue& base,
     ++failures;
   };
 
-  if (static_cast<int>(base.at("schema_version").num()) != kRegressSchemaVersion) {
-    std::cerr << "REGRESSION: baseline schema version mismatch\n";
+  // Every failure line names the diverging field and prints both sides
+  // ("field: expected <baseline> actual <fresh>") so a CI log alone
+  // identifies what moved without re-running the gate locally.
+  const int base_version = static_cast<int>(base.at("schema_version").num());
+  if (base_version != kRegressSchemaVersion) {
+    std::cerr << "REGRESSION schema_version: expected "
+              << kRegressSchemaVersion << " actual " << base_version << '\n';
     return 1;
   }
   for (const Case& c : fresh) {
@@ -185,8 +190,8 @@ int compare(const std::vector<Case>& fresh, const metrics::JsonValue& base,
     const auto exact = [&](const char* key, std::uint64_t got) {
       const auto want = static_cast<std::uint64_t>(jc->at(key).num());
       if (want != got)
-        fail(c, std::string(key) + ": baseline " + std::to_string(want) +
-                    " != " + std::to_string(got));
+        fail(c, std::string(key) + ": expected " + std::to_string(want) +
+                    " actual " + std::to_string(got));
     };
     exact("updates", static_cast<std::uint64_t>(c.updates));
     // The split is deterministic under the page-start first-touch rule,
@@ -197,19 +202,21 @@ int compare(const std::vector<Case>& fresh, const metrics::JsonValue& base,
     // Locality is local/(local+remote) — exact up to the JSON round-trip
     // of the double, hence the near-zero relative tolerance.
     if (!close_rel(jc->at("locality").num(), c.locality, 1e-9))
-      fail(c, "locality drifted: baseline " +
-                  std::to_string(jc->at("locality").num()) + " != " +
+      fail(c, "locality: expected " +
+                  std::to_string(jc->at("locality").num()) + " actual " +
                   std::to_string(c.locality));
     if (!close_rel(jc->at("model_gupdates_per_core").num(),
                    c.model_gupdates_per_core, 0.05))
-      fail(c, "model_gupdates_per_core drifted: baseline " +
+      fail(c, "model_gupdates_per_core: expected " +
                   std::to_string(jc->at("model_gupdates_per_core").num()) +
-                  " != " + std::to_string(c.model_gupdates_per_core));
+                  " actual " + std::to_string(c.model_gupdates_per_core) +
+                  " (rel tol 0.05)");
     const double base_s = jc->at("seconds").num();
     if (base_s > 0.0 && c.seconds > base_s * wall_tol)
-      fail(c, "wall clock " + std::to_string(c.seconds) + " s > " +
-                  std::to_string(wall_tol) + "x baseline " +
-                  std::to_string(base_s) + " s");
+      fail(c, "seconds: expected <= " + std::to_string(base_s * wall_tol) +
+                  " (" + std::to_string(wall_tol) + "x baseline " +
+                  std::to_string(base_s) + ") actual " +
+                  std::to_string(c.seconds));
   }
   return failures;
 }

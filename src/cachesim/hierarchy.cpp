@@ -20,6 +20,8 @@ Hierarchy::Hierarchy(const topology::MachineSpec& machine, int num_cores)
       level.push_back(std::make_unique<Cache>(lvl.size_bytes, lvl.line_bytes, lvl.associativity));
     caches_.push_back(std::move(level));
   }
+  core_level_.assign(static_cast<std::size_t>(num_cores),
+                     std::vector<LevelTraffic>(caches_.size()));
 }
 
 Cache& Hierarchy::cache_at(std::size_t level, int core) {
@@ -28,11 +30,16 @@ Cache& Hierarchy::cache_at(std::size_t level, int core) {
 }
 
 void Hierarchy::access_line(int core, Addr line_addr_bytes, bool write) {
+  auto& mine = core_level_[static_cast<std::size_t>(core)];
   for (std::size_t level = 0; level < caches_.size(); ++level) {
     bool evicted_dirty = false;
     const bool hit = cache_at(level, core).access(line_addr_bytes, write, &evicted_dirty);
     if (level + 1 == caches_.size() && evicted_dirty) ++memory_writes_;
-    if (hit) return;  // served by this level
+    if (hit) {
+      ++mine[level].hits;
+      return;  // served by this level
+    }
+    ++mine[level].misses;
   }
   ++memory_reads_;
 }

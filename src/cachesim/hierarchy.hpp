@@ -44,6 +44,15 @@ class Hierarchy {
   HierarchyTraffic traffic() const;
   Index line_bytes() const { return line_bytes_; }
 
+  /// Per-level hit/miss counters attributed to the accessing core (one
+  /// entry per cache level).  The global per-Cache counters cannot be
+  /// attributed back to a thread once levels are shared; this mirror is
+  /// incremented on the same walk, so summed over all cores it equals
+  /// traffic().level exactly.
+  const std::vector<LevelTraffic>& core_traffic(int core) const {
+    return core_level_[static_cast<std::size_t>(core)];
+  }
+
  private:
   Cache& cache_at(std::size_t level, int core);
   void access_line(int core, Addr line_addr_bytes, bool write);
@@ -54,6 +63,8 @@ class Hierarchy {
   /// caches_[level][group]
   std::vector<std::vector<std::unique_ptr<Cache>>> caches_;
   std::vector<int> group_divisor_;  ///< cores per sharing group at each level
+  /// core_level_[core][level]: the per-core attribution mirror.
+  std::vector<std::vector<LevelTraffic>> core_level_;
   std::uint64_t memory_reads_ = 0;
   std::uint64_t memory_writes_ = 0;
 };

@@ -1,5 +1,6 @@
 #include "common/args.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -32,6 +33,19 @@ int ArgParser::validate_thread_count(long threads, int machine_cores) {
                       std::to_string(machine_cores) +
                       " cores of the selected --machine");
   return static_cast<int>(threads);
+}
+
+long ArgParser::validate_positive(const char* flag, long value) {
+  NUSTENCIL_CHECK(value >= 1, std::string(flag) + " must be at least 1, got " +
+                                  std::to_string(value));
+  return value;
+}
+
+double ArgParser::validate_positive_seconds(const char* flag, double seconds) {
+  NUSTENCIL_CHECK(std::isfinite(seconds) && seconds > 0.0,
+                  std::string(flag) + " must be a positive number of seconds, got " +
+                      std::to_string(seconds));
+  return seconds;
 }
 
 bool ArgParser::parse(int argc, char** argv) {

@@ -43,6 +43,16 @@ class ArgParser {
   /// code can validate and narrow in one step.
   static int validate_thread_count(long threads, int machine_cores);
 
+  /// Validates a count-valued option (e.g. --trace-buffer): throws Error
+  /// (with the flag and the offending value in the message) unless
+  /// value >= 1.
+  static long validate_positive(const char* flag, long value);
+
+  /// Validates a positive-seconds option (e.g. --progress): throws Error
+  /// (with the flag and the offending value) unless seconds > 0 and
+  /// finite.
+  static double validate_positive_seconds(const char* flag, double seconds);
+
   /// The full --help text.
   std::string help() const;
 

@@ -1,0 +1,37 @@
+#include "common/provenance.hpp"
+
+// The build system stamps these onto this translation unit only; the
+// fallbacks keep non-CMake builds (and IDE indexers) compiling.
+#ifndef NUSTENCIL_GIT_SHA
+#define NUSTENCIL_GIT_SHA "unknown"
+#endif
+#ifndef NUSTENCIL_BUILD_FLAGS
+#define NUSTENCIL_BUILD_FLAGS ""
+#endif
+#ifndef NUSTENCIL_BUILD_TYPE
+#define NUSTENCIL_BUILD_TYPE "unknown"
+#endif
+
+namespace nustencil {
+
+namespace {
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{NUSTENCIL_GIT_SHA, compiler_id(),
+                              NUSTENCIL_BUILD_FLAGS, NUSTENCIL_BUILD_TYPE};
+  return info;
+}
+
+}  // namespace nustencil

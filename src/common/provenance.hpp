@@ -1,0 +1,21 @@
+// Build provenance: which source revision, compiler and flags produced
+// this binary.  Stamped into every run report (and the dashboard footer)
+// so a saved JSON document stays interpretable after the working tree
+// has moved on.
+#pragma once
+
+#include <string>
+
+namespace nustencil {
+
+struct BuildInfo {
+  std::string git_sha;         ///< short commit hash, "unknown" outside git
+  std::string compiler;        ///< compiler id + version, e.g. "gcc 13.2.0"
+  std::string compiler_flags;  ///< the flags the build was configured with
+  std::string build_type;      ///< CMake build type, e.g. "RelWithDebInfo"
+};
+
+/// The provenance of this binary (values baked in at compile time).
+const BuildInfo& build_info();
+
+}  // namespace nustencil

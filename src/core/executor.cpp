@@ -159,6 +159,12 @@ Index Executor::update_box(const Box& box, long t, int tid) {
     m_tile_hist_->observe(tid, static_cast<std::uint64_t>(done));
   }
   if (instr_.traffic) instr_.traffic->tick_updates(tid, static_cast<std::uint64_t>(done));
+  if (instr_.progress) {
+    std::uint64_t local = 0, remote = 0, unowned = 0;
+    if (instr_.traffic) instr_.traffic->thread_bytes(tid, local, remote, unowned);
+    instr_.progress->publish(tid, static_cast<std::uint64_t>(updates_), local,
+                             remote);
+  }
   return done;
 }
 

@@ -170,6 +170,59 @@ void write_sched(JsonWriter& w, const sched::SchedStats& s) {
   w.end_object();
 }
 
+void write_provenance(JsonWriter& w, const RunReport& r) {
+  w.begin_object();
+  w.kv("git_sha", r.git_sha);
+  w.kv("compiler", r.compiler);
+  w.kv("compiler_flags", r.compiler_flags);
+  w.kv("build_type", r.build_type);
+  w.kv("machine_conf", r.machine_conf);
+  w.end_object();
+}
+
+void write_prof(JsonWriter& w, const prof::ProfSummary* p) {
+  w.begin_object();
+  w.kv("enabled", p != nullptr && p->enabled);
+  if (p && p->enabled) {
+    w.kv("flops_per_update", p->flops_per_update);
+    w.kv("sampled_spans", p->sampled_spans);
+    w.kv("dropped_events", p->dropped_events);
+    w.key("totals").begin_object();
+    for (int i = 0; i < trace::kNumSpanCounters; ++i) {
+      const auto c = static_cast<trace::SpanCounter>(i);
+      w.kv(trace::span_counter_name(c), p->totals.at(c));
+    }
+    w.end_object();
+    w.key("stragglers").begin_array();
+    for (const prof::Straggler& s : p->stragglers) {
+      w.begin_object();
+      w.kv("tid", s.span.tid);
+      w.kv("phase", trace::phase_name(s.span.phase));
+      w.kv("dur_ms", s.dur_ms);
+      w.kv("mean_dur_ms", s.mean_dur_ms);
+      w.kv("verdict", prof::verdict_name(s.why.verdict));
+      w.kv("spin_frac", s.why.spin_frac);
+      w.kv("remote_frac", s.why.remote_frac);
+      w.kv("miss_rate", s.why.miss_rate);
+      w.kv("updates", s.span.counters.at(trace::SpanCounter::Updates));
+      w.kv("bytes", s.span.counters.total_bytes());
+      w.end_object();
+    }
+    w.end_array();
+    w.key("roofline").begin_array();
+    for (const prof::RooflinePoint& pt : p->roofline) {
+      w.begin_object();
+      w.kv("ai", pt.ai);
+      w.kv("gflops", pt.gflops);
+      w.kv("tid", pt.tid);
+      w.kv("verdict", prof::verdict_name(pt.verdict));
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+}
+
 void write_model(JsonWriter& w, const std::optional<ModelSection>& m) {
   w.begin_object();
   if (m) {
@@ -200,6 +253,8 @@ void write_run_report(const RunReport& report, std::ostream& os) {
   w.begin_object();
   w.kv("schema_version", kRunReportSchemaVersion);
   w.kv("generator", "nustencil");
+  w.key("provenance");
+  write_provenance(w, report);
   w.key("config");
   write_config(w, report);
   w.key("machine");
@@ -214,6 +269,8 @@ void write_run_report(const RunReport& report, std::ostream& os) {
   write_phases(w, report.phases);
   w.key("sched");
   write_sched(w, report.sched);
+  w.key("prof");
+  write_prof(w, report.prof);
   w.key("model");
   write_model(w, report.model);
 

@@ -16,6 +16,7 @@
 #include "common/types.hpp"
 #include "metrics/registry.hpp"
 #include "numa/traffic.hpp"
+#include "prof/attribution.hpp"
 #include "sched/schedule.hpp"
 #include "topology/machine.hpp"
 #include "trace/trace.hpp"
@@ -52,6 +53,14 @@ struct RunReport {
   std::string pin_policy;    ///< "compact" / "scatter"
   std::string schedule;      ///< "static" / "steal" / "steal_local"
 
+  // build provenance (see common/provenance.hpp); machine_conf names the
+  // simulated machine configuration the run was instrumented against
+  std::string git_sha;
+  std::string compiler;
+  std::string compiler_flags;
+  std::string build_type;
+  std::string machine_conf;
+
   // machine the run was instrumented against
   const topology::MachineSpec* machine = nullptr;
 
@@ -66,6 +75,7 @@ struct RunReport {
   Index cache_line_bytes = 0;
   trace::PhaseBreakdown phases;
   sched::SchedStats sched;  ///< enabled only under a stealing schedule
+  const prof::ProfSummary* prof = nullptr;  ///< null without --trace/--report profiling
   std::optional<ModelSection> model;
   const Registry* registry = nullptr;  ///< counters/gauges/histograms
 };

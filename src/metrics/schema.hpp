@@ -13,7 +13,11 @@ namespace nustencil::metrics {
 /// Version stamped into every run-report document ("schema_version").
 /// v2: added the top-level "sched" section (work-stealing statistics)
 /// and config.schedule.
-inline constexpr int kRunReportSchemaVersion = 2;
+/// v3: added the top-level "provenance" section (git SHA, compiler,
+/// flags, build type, machine conf) and the "prof" section (per-span
+/// attribution: exact counter totals, stragglers with verdicts,
+/// roofline scatter).
+inline constexpr int kRunReportSchemaVersion = 3;
 
 /// The fixed leading CSV columns of the nustencil CLI summary table
 /// (before the detail_* and phase columns).

@@ -128,6 +128,19 @@ class TrafficRecorder {
   /// Merged statistics over all threads.
   TrafficStats collect() const;
 
+  /// Cumulative byte counters of thread `tid`'s private shard.  The
+  /// shard is single-writer (only thread `tid` mutates it), so the
+  /// owning thread may read its own values without synchronisation —
+  /// the per-span counter sampler does, at leaf-span boundaries.  Other
+  /// threads must only call this after the worker team has joined.
+  void thread_bytes(int tid, std::uint64_t& local, std::uint64_t& remote,
+                    std::uint64_t& unowned) const {
+    const PerThread& p = per_thread_[static_cast<std::size_t>(tid)];
+    local = p.stats.local_bytes;
+    remote = p.stats.remote_bytes;
+    unowned = p.stats.unowned_bytes;
+  }
+
   const VirtualTopology& topology() const { return *topo_; }
 
  private:

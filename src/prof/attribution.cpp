@@ -1,0 +1,135 @@
+#include "prof/attribution.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace nustencil::prof {
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::ComputeBound: return "compute-bound";
+    case Verdict::RemoteTrafficBound: return "remote-traffic-bound";
+    case Verdict::CacheMissBound: return "cache-miss-bound";
+    case Verdict::SpinBound: return "spin-bound";
+  }
+  return "?";
+}
+
+Attribution attribute(const SpanRecord& span) {
+  Attribution a;
+  if (span.phase == trace::Phase::BarrierWait ||
+      span.phase == trace::Phase::SpinWait) {
+    a.verdict = Verdict::SpinBound;
+    a.spin_frac = 1.0;
+    return a;
+  }
+  const double dur = static_cast<double>(span.dur_ns());
+  if (dur > 0.0 && span.exclude_ns > 0)
+    a.spin_frac = static_cast<double>(span.exclude_ns) / dur;
+  const trace::CounterSet& c = span.counters;
+  if (c.owned_bytes() > 0)
+    a.remote_frac =
+        static_cast<double>(c.at(trace::SpanCounter::RemoteBytes)) /
+        static_cast<double>(c.owned_bytes());
+  if (const int deep = c.deepest_level(); deep >= 0)
+    a.miss_rate = c.miss_rate(deep);
+  if (a.spin_frac > kSpinBoundFrac)
+    a.verdict = Verdict::SpinBound;
+  else if (a.remote_frac > kRemoteBoundFrac)
+    a.verdict = Verdict::RemoteTrafficBound;
+  else if (a.miss_rate > kMissBoundRate)
+    a.verdict = Verdict::CacheMissBound;
+  else
+    a.verdict = Verdict::ComputeBound;
+  return a;
+}
+
+ProfSummary summarize(const trace::Trace& trace, int flops_per_update,
+                      std::size_t top_k, std::size_t max_roofline) {
+  ProfSummary s;
+  s.flops_per_update = flops_per_update;
+  if (trace.num_threads() == 0) return s;
+
+  // Exact totals from the out-of-ring per-phase accumulators; only the
+  // counter-carrying phases can hold anything.
+  for (int tid = 0; tid < trace.num_threads(); ++tid) {
+    const trace::ThreadRecorder* rec = trace.thread(tid);
+    s.dropped_events += rec->dropped();
+    for (int p = 0; p < trace::kNumPhases; ++p) {
+      const auto phase = static_cast<trace::Phase>(p);
+      if (trace::phase_carries_counters(phase))
+        s.totals.accumulate(rec->counter_total(phase));
+    }
+  }
+
+  // Straggler candidates and the roofline scatter come from the rings.
+  std::vector<SpanRecord> leaves;
+  std::array<double, trace::kNumPhases> phase_dur_sum{};
+  std::array<std::uint64_t, trace::kNumPhases> phase_dur_count{};
+  for (int tid = 0; tid < trace.num_threads(); ++tid) {
+    for (const trace::Event& e : trace.thread(tid)->events()) {
+      if (!trace::phase_is_leaf(e.phase)) continue;
+      SpanRecord r;
+      r.tid = tid;
+      r.phase = e.phase;
+      r.args = e.args;
+      r.start_ns = e.start_ns;
+      r.end_ns = e.end_ns;
+      r.exclude_ns = e.exclude_ns;
+      if (e.has_counters) {
+        r.counters = e.counters;
+        ++s.sampled_spans;
+        if (s.roofline.size() < max_roofline) {
+          const std::uint64_t bytes = e.counters.total_bytes();
+          const std::uint64_t updates =
+              e.counters.at(trace::SpanCounter::Updates);
+          const double dur = static_cast<double>(e.end_ns - e.start_ns);
+          if (bytes > 0 && updates > 0 && dur > 0.0 && flops_per_update > 0) {
+            RooflinePoint p;
+            const double flops =
+                static_cast<double>(updates) * flops_per_update;
+            p.ai = flops / static_cast<double>(bytes);
+            p.gflops = flops / dur;  // flop/ns == Gflop/s
+            p.tid = tid;
+            p.verdict = attribute(r).verdict;
+            s.roofline.push_back(p);
+          }
+        }
+      }
+      const auto pi = static_cast<std::size_t>(e.phase);
+      phase_dur_sum[pi] += static_cast<double>(e.end_ns - e.start_ns);
+      phase_dur_count[pi] += 1;
+      leaves.push_back(std::move(r));
+    }
+  }
+
+  const std::size_t k = std::min(top_k, leaves.size());
+  // Ties broken by (tid, start) so the table is deterministic.
+  std::partial_sort(leaves.begin(), leaves.begin() + static_cast<std::ptrdiff_t>(k),
+                    leaves.end(), [](const SpanRecord& x, const SpanRecord& y) {
+                      if (x.dur_ns() != y.dur_ns()) return x.dur_ns() > y.dur_ns();
+                      if (x.tid != y.tid) return x.tid < y.tid;
+                      return x.start_ns < y.start_ns;
+                    });
+  for (std::size_t i = 0; i < k; ++i) {
+    Straggler st;
+    st.span = leaves[i];
+    st.why = attribute(st.span);
+    st.dur_ms = static_cast<double>(st.span.dur_ns()) * 1e-6;
+    const auto pi = static_cast<std::size_t>(st.span.phase);
+    st.mean_dur_ms = phase_dur_count[pi] > 0
+                         ? phase_dur_sum[pi] * 1e-6 /
+                               static_cast<double>(phase_dur_count[pi])
+                         : 0.0;
+    s.stragglers.push_back(std::move(st));
+  }
+  // "Enabled" means the trace carries (or can still produce) per-span
+  // counter data: a live sampler, sampled events in the rings, or
+  // non-zero out-of-ring totals — the last two matter because RunSupport
+  // detaches the sampler when the run object dies.
+  s.enabled = trace.sampler() != nullptr || s.sampled_spans > 0 ||
+              s.totals.any();
+  return s;
+}
+
+}  // namespace nustencil::prof

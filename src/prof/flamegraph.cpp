@@ -1,0 +1,137 @@
+#include "prof/flamegraph.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace nustencil::prof {
+
+const char* flame_weight_name(FlameWeight w) {
+  switch (w) {
+    case FlameWeight::Time: return "time";
+    case FlameWeight::RemoteBytes: return "remote";
+    case FlameWeight::CacheMisses: return "misses";
+  }
+  return "?";
+}
+
+FlameWeight parse_flame_weight(const std::string& s) {
+  if (s == "time") return FlameWeight::Time;
+  if (s == "remote") return FlameWeight::RemoteBytes;
+  if (s == "misses") return FlameWeight::CacheMisses;
+  NUSTENCIL_CHECK(false, "unknown flamegraph weight '" + s +
+                             "' (expected time, remote or misses)");
+  return FlameWeight::Time;
+}
+
+namespace {
+
+/// Frame name of one span — no spaces or semicolons (both are structural
+/// in the folded format).
+std::string frame_name(const trace::Event& e) {
+  std::ostringstream os;
+  switch (e.phase) {
+    case trace::Phase::Init:
+      os << "init:" << e.args.a << ',' << e.args.b << ',' << e.args.c;
+      break;
+    case trace::Phase::Tile:
+      os << "tile:" << e.args.a << ',' << e.args.b << ',' << e.args.c;
+      break;
+    case trace::Phase::BarrierWait:
+      os << "barrier-wait";
+      break;
+    case trace::Phase::SpinWait:
+      os << "spinflag-wait";
+      if (e.args.owner >= 0) os << ":owner" << e.args.owner;
+      break;
+    case trace::Phase::Parallelogram:
+      os << "parallelogram:" << e.args.a;
+      break;
+    case trace::Phase::Layer:
+      os << "layer:" << e.args.a;
+      break;
+    case trace::Phase::Steal:
+      os << "steal:t" << e.args.a << ":v" << e.args.b;
+      break;
+    case trace::Phase::kCount:
+      os << "?";
+      break;
+  }
+  return os.str();
+}
+
+std::uint64_t counter_weight(const trace::Event& e, FlameWeight w) {
+  if (!e.has_counters) return 0;
+  if (w == FlameWeight::RemoteBytes)
+    return e.counters.at(trace::SpanCounter::RemoteBytes);
+  const int deep = e.counters.deepest_level();
+  return deep >= 0 ? e.counters.level_misses(deep) : 0;
+}
+
+}  // namespace
+
+void write_flamegraph(std::ostream& os, const trace::Trace& trace,
+                      const std::string& root, FlameWeight weight) {
+  // Ordered map -> lexicographic, deterministic output.
+  std::map<std::string, std::uint64_t> folded;
+  for (int tid = 0; tid < trace.num_threads(); ++tid) {
+    std::vector<trace::Event> events = trace.thread(tid)->events();
+    // Parent-first order: by start ascending, enclosing span (later end)
+    // first on ties, so the nesting stack below reconstructs ancestry.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const trace::Event& x, const trace::Event& y) {
+                       if (x.start_ns != y.start_ns) return x.start_ns < y.start_ns;
+                       return x.end_ns > y.end_ns;
+                     });
+    struct Open {
+      std::string stack;        ///< full folded stack including this frame
+      std::int64_t end_ns;
+      std::int64_t self_ns;     ///< extent minus nested span extents
+      std::uint64_t self_counter;
+    };
+    std::vector<Open> open;
+    const std::string base = root + ";worker:" + std::to_string(tid);
+    auto close_top = [&] {
+      const Open& top = open.back();
+      std::uint64_t w = 0;
+      if (weight == FlameWeight::Time)
+        w = top.self_ns > 0 ? static_cast<std::uint64_t>(top.self_ns) : 0;
+      else
+        w = top.self_counter;
+      if (w > 0) folded[top.stack] += w;
+      open.pop_back();
+    };
+    for (const trace::Event& e : events) {
+      while (!open.empty() && open.back().end_ns <= e.start_ns) close_top();
+      Open o;
+      o.stack = (open.empty() ? base : open.back().stack) + ';' + frame_name(e);
+      o.end_ns = e.end_ns;
+      o.self_ns = e.end_ns - e.start_ns;
+      o.self_counter = counter_weight(e, weight);
+      if (!open.empty()) {
+        // The enclosed extent belongs to this child, not the parent; a
+        // parent that carries counters (CORALS chained tiles) likewise
+        // keeps only its own delta because nested wait spans carry none.
+        open.back().self_ns -= e.end_ns - e.start_ns;
+      }
+      open.push_back(std::move(o));
+    }
+    while (!open.empty()) close_top();
+  }
+  for (const auto& [stack, w] : folded) os << stack << ' ' << w << '\n';
+}
+
+void write_flamegraph_file(const std::string& path, const trace::Trace& trace,
+                           const std::string& root, FlameWeight weight) {
+  std::ofstream out(path);
+  NUSTENCIL_CHECK(out.good(), "flamegraph: cannot open " + path);
+  write_flamegraph(out, trace, root, weight);
+  NUSTENCIL_CHECK(out.good(), "flamegraph: write failed for " + path);
+}
+
+}  // namespace nustencil::prof

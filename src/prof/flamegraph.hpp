@@ -1,0 +1,44 @@
+// Collapsed-stack flamegraph export of a traced run.
+//
+// Reconstructs each thread's span nesting (Layer > Parallelogram > Tile >
+// SpinWait, etc.) from the event ring and emits one Brendan-Gregg folded
+// line per unique stack:
+//
+//   nuCORALS;worker:3;layer:2;parallelogram:5;tile:0,32,0 184223
+//
+// loadable by flamegraph.pl and by speedscope.  Three weightings share
+// the same stack structure: wall time (self time, nested spans
+// subtracted), remote bytes, and deepest-level cache misses — the latter
+// two turn the flamegraph into a traffic/miss attribution view where
+// only counter-carrying spans have width.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace nustencil::prof {
+
+enum class FlameWeight : std::uint8_t {
+  Time = 0,      ///< self wall time, nanoseconds
+  RemoteBytes,   ///< per-span remote-traffic delta, bytes
+  CacheMisses,   ///< per-span misses at the deepest active cache level
+};
+
+const char* flame_weight_name(FlameWeight w);
+
+/// Parses "time" / "remote" / "misses"; throws common::Error otherwise.
+FlameWeight parse_flame_weight(const std::string& s);
+
+/// Writes the folded stacks of every thread under a `root` frame
+/// (conventionally the scheme name).  Stacks are emitted in
+/// lexicographic order and zero-weight lines are skipped, so the output
+/// is deterministic given identical traces.
+void write_flamegraph(std::ostream& os, const trace::Trace& trace,
+                      const std::string& root, FlameWeight weight);
+void write_flamegraph_file(const std::string& path, const trace::Trace& trace,
+                           const std::string& root, FlameWeight weight);
+
+}  // namespace nustencil::prof

@@ -1,0 +1,29 @@
+#include "prof/profiler.hpp"
+
+#include <algorithm>
+
+namespace nustencil::prof {
+
+void Profiler::sample(int tid, trace::CounterSet& out) const {
+  out = trace::CounterSet{};
+  if (updates_) out.at(trace::SpanCounter::Updates) = updates_(tid);
+  if (traffic_) {
+    traffic_->thread_bytes(tid, out.at(trace::SpanCounter::LocalBytes),
+                           out.at(trace::SpanCounter::RemoteBytes),
+                           out.at(trace::SpanCounter::UnownedBytes));
+  }
+  if (cache_) {
+    const auto& levels = cache_->core_traffic(tid);
+    const int n = std::min<int>(static_cast<int>(levels.size()),
+                                trace::CounterSet::kMaxCacheLevels);
+    for (int l = 0; l < n; ++l) {
+      const auto& lt = levels[static_cast<std::size_t>(l)];
+      out.v[static_cast<std::size_t>(trace::SpanCounter::L1Hits) +
+            2 * static_cast<std::size_t>(l)] = lt.hits;
+      out.v[static_cast<std::size_t>(trace::SpanCounter::L1Misses) +
+            2 * static_cast<std::size_t>(l)] = lt.misses;
+    }
+  }
+}
+
+}  // namespace nustencil::prof

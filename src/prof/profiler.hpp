@@ -1,0 +1,52 @@
+// The simulated-PMU sampler behind per-span performance attribution.
+//
+// A Profiler aggregates the run's instrumentation sources — the executor's
+// update counters, the NUMA traffic recorder's per-thread byte shards and
+// the cache simulator's per-core hit/miss mirror — behind the
+// trace::CounterSampler interface.  ScopedSpan snapshots it at the two
+// ends of every counter-carrying leaf span (Tile, Init) and records the
+// delta, which is how a span on the timeline gets "remote bytes", "miss
+// rate" and "updates" attached without any per-access bookkeeping of its
+// own.
+//
+// Every source is per-thread single-writer, so sampling from the owning
+// thread is a handful of relaxed loads: no locks on the hot path, and a
+// run without --trace/--report never constructs a Profiler at all.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "cachesim/shared.hpp"
+#include "numa/traffic.hpp"
+#include "trace/trace.hpp"
+
+namespace nustencil::prof {
+
+class Profiler : public trace::CounterSampler {
+ public:
+  /// Cumulative cell updates of thread `tid` (typically bound to the
+  /// thread's Executor::updates_done).  A std::function keeps this
+  /// library independent of src/core.
+  using UpdatesFn = std::function<std::uint64_t(int tid)>;
+
+  void set_updates_source(UpdatesFn fn) { updates_ = std::move(fn); }
+  void set_traffic_source(const numa::TrafficRecorder* traffic) {
+    traffic_ = traffic;
+  }
+  void set_cache_source(const cachesim::SharedHierarchy* cache) {
+    cache_ = cache;
+  }
+
+  /// Samples the cumulative counters of thread `tid`.  Sources that are
+  /// not attached leave their slots zero, so their per-span deltas are
+  /// zero too.  Must be called from thread `tid` (single-writer shards).
+  void sample(int tid, trace::CounterSet& out) const override;
+
+ private:
+  UpdatesFn updates_;
+  const numa::TrafficRecorder* traffic_ = nullptr;
+  const cachesim::SharedHierarchy* cache_ = nullptr;
+};
+
+}  // namespace nustencil::prof

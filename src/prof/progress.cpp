@@ -1,0 +1,97 @@
+#include "prof/progress.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace nustencil::prof {
+
+ProgressMeter::ProgressMeter(double interval_s, std::ostream& os)
+    : interval_s_(interval_s), os_(&os) {
+  NUSTENCIL_CHECK(interval_s > 0.0, "ProgressMeter: interval must be positive");
+}
+
+ProgressMeter::~ProgressMeter() { stop(); }
+
+void ProgressMeter::begin_run(const std::string& label, int num_threads,
+                              std::uint64_t total_updates) {
+  NUSTENCIL_CHECK(!running_, "ProgressMeter: begin_run while running");
+  NUSTENCIL_CHECK(num_threads >= 1, "ProgressMeter: need at least one thread");
+  label_ = label;
+  total_updates_ = total_updates;
+  slots_ = std::vector<Slot>(static_cast<std::size_t>(num_threads));
+  layer_.store(-1, std::memory_order_relaxed);
+  last_updates_ = 0;
+  last_beat_ = std::chrono::steady_clock::now();
+}
+
+std::string ProgressMeter::render_line() {
+  std::uint64_t updates = 0, local = 0, remote = 0;
+  for (const Slot& s : slots_) {
+    updates += s.updates.load(std::memory_order_relaxed);
+    local += s.local_bytes.load(std::memory_order_relaxed);
+    remote += s.remote_bytes.load(std::memory_order_relaxed);
+  }
+  const auto now = std::chrono::steady_clock::now();
+  const double dt = std::chrono::duration<double>(now - last_beat_).count();
+  const double mups =
+      dt > 0.0 ? static_cast<double>(updates - last_updates_) / dt * 1e-6 : 0.0;
+  last_updates_ = updates;
+  last_beat_ = now;
+  const std::uint64_t owned = local + remote;
+  const double locality =
+      owned == 0 ? 100.0
+                 : static_cast<double>(local) / static_cast<double>(owned) * 100.0;
+
+  std::ostringstream line;
+  line << "progress";
+  if (!label_.empty()) line << " [" << label_ << ']';
+  line << ": ";
+  if (const long layer = layer_.load(std::memory_order_relaxed); layer >= 0)
+    line << "layer " << layer << " | ";
+  line << std::fixed << std::setprecision(1) << mups << " M up/s | locality "
+       << std::setprecision(1) << locality << '%';
+  if (total_updates_ > 0)
+    line << " | " << std::setprecision(1)
+         << static_cast<double>(updates) / static_cast<double>(total_updates_) *
+                100.0
+         << "% done";
+  return line.str();
+}
+
+void ProgressMeter::beat_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto interval = std::chrono::duration<double>(interval_s_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval, [this] { return stopping_; })) break;
+    lock.unlock();
+    *os_ << render_line() << std::endl;
+    lock.lock();
+  }
+}
+
+void ProgressMeter::start() {
+  NUSTENCIL_CHECK(!slots_.empty(), "ProgressMeter: start before begin_run");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  stopping_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { beat_loop(); });
+}
+
+void ProgressMeter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  running_ = false;
+  // One closing beat so runs shorter than the interval still report.
+  *os_ << render_line() << " (final)" << std::endl;
+}
+
+}  // namespace nustencil::prof

@@ -1,0 +1,95 @@
+// Live progress heartbeat for long runs: a background thread that
+// periodically prints the current temporal layer, the update rate since
+// the last beat and the running NUMA locality.
+//
+// Workers publish into cache-line-padded per-thread atomic slots with
+// relaxed stores (one branch + three stores per tile when enabled, one
+// null check when not), so the heartbeat never perturbs the measured
+// run: there is no lock on the publish path and the reader tolerates
+// torn *sets* of slots — each slot itself is a word-sized atomic.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/aligned.hpp"
+
+namespace nustencil::prof {
+
+class ProgressMeter {
+ public:
+  /// Beats every `interval_s` seconds onto `os` (one line per beat).
+  ProgressMeter(double interval_s, std::ostream& os);
+  ~ProgressMeter();
+
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  /// Resets the slots for a new run.  `label` prefixes every line;
+  /// `total_updates` (0 = unknown) adds a percent-done column.
+  void begin_run(const std::string& label, int num_threads,
+                 std::uint64_t total_updates);
+
+  /// Publishes thread `tid`'s cumulative progress (executors call this
+  /// once per tile).  Relaxed stores; call from thread `tid` only.
+  void publish(int tid, std::uint64_t updates, std::uint64_t local_bytes,
+               std::uint64_t remote_bytes) {
+    Slot& s = slots_[static_cast<std::size_t>(tid)];
+    s.updates.store(updates, std::memory_order_relaxed);
+    s.local_bytes.store(local_bytes, std::memory_order_relaxed);
+    s.remote_bytes.store(remote_bytes, std::memory_order_relaxed);
+  }
+
+  /// Advances the layer indicator (monotonic max; any thread may call).
+  void set_layer(long layer) {
+    long cur = layer_.load(std::memory_order_relaxed);
+    while (layer > cur &&
+           !layer_.compare_exchange_weak(cur, layer,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Starts / stops the heartbeat thread.  stop() emits one final line
+  /// so short runs still report, then joins.
+  void start();
+  void stop();
+
+  /// The current heartbeat line (sampled now); exposed for tests.
+  std::string render_line();
+
+ private:
+  struct alignas(kCacheLineBytes) Slot {
+    std::atomic<std::uint64_t> updates{0};
+    std::atomic<std::uint64_t> local_bytes{0};
+    std::atomic<std::uint64_t> remote_bytes{0};
+  };
+
+  void beat_loop();
+
+  double interval_s_;
+  std::ostream* os_;
+  std::string label_;
+  std::uint64_t total_updates_ = 0;
+  std::vector<Slot> slots_;
+  std::atomic<long> layer_{-1};
+
+  // Rate window state (heartbeat thread only).
+  std::uint64_t last_updates_ = 0;
+  std::chrono::steady_clock::time_point last_beat_{};
+
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool running_ = false;
+};
+
+}  // namespace nustencil::prof

@@ -292,4 +292,67 @@ std::string render_stacked_bars_svg(const StackedBarSpec& spec) {
   return os.str();
 }
 
+std::string render_scatter_svg(const ScatterSpec& spec) {
+  NUSTENCIL_CHECK(!spec.class_labels.empty(),
+                  "render_scatter_svg: need at least one class label");
+  for (const ScatterPoint& p : spec.points)
+    NUSTENCIL_CHECK(p.cls >= 0 &&
+                        p.cls < static_cast<int>(spec.class_labels.size()),
+                    "render_scatter_svg: point class out of range");
+
+  const double w = spec.width, h = spec.height;
+  const double ml = 70, mr = 180, mt = 50, mb = 55;
+  const double pw = w - ml - mr, ph = h - mt - mb;
+
+  double xmax = 0.0, ymax = 0.0;
+  for (const ScatterPoint& p : spec.points) {
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) continue;
+    xmax = std::max(xmax, p.x);
+    ymax = std::max(ymax, p.y);
+  }
+  if (xmax <= 0.0) xmax = 1.0;
+  if (ymax <= 0.0) ymax = 1.0;
+  const double xstep = nice_step(xmax, 8);
+  const double ystep = nice_step(ymax, 6);
+  xmax = std::ceil(xmax / xstep) * xstep;
+  ymax = std::ceil(ymax / ystep) * ystep;
+
+  const auto xpos = [&](double v) { return ml + pw * v / xmax; };
+  const auto ypos = [&](double v) { return mt + ph * (1.0 - v / ymax); };
+
+  std::ostringstream os;
+  svg_begin(os, w, h);
+  svg_title(os, ml + pw / 2, spec.title);
+
+  // Grid + y axis.
+  for (double v = 0.0; v <= ymax + 1e-9; v += ystep) {
+    const double y = ypos(v);
+    svg_line(os, ml, y, ml + pw, y, "#dddddd");
+    svg_text(os, ml - 8, y + 4, "end", 11, fmt_num(v));
+  }
+  // X ticks.
+  for (double v = 0.0; v <= xmax + 1e-9; v += xstep) {
+    const double x = xpos(v);
+    svg_line(os, x, mt + ph, x, mt + ph + 5, "black");
+    svg_text(os, x, mt + ph + 20, "middle", 11, fmt_num(v));
+  }
+  // Axes.
+  svg_line(os, ml, mt, ml, mt + ph, "black");
+  svg_line(os, ml, mt + ph, ml + pw, mt + ph, "black");
+  axis_labels(os, ml, pw, h, mt, ph, spec.x_label, spec.y_label);
+
+  for (const ScatterPoint& p : spec.points) {
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) continue;
+    os << "<circle cx='" << xpos(p.x) << "' cy='" << ypos(p.y)
+       << "' r='3.2' fill='" << palette_color(static_cast<std::size_t>(p.cls))
+       << "' fill-opacity='0.7'/>\n";
+  }
+
+  for (std::size_t k = 0; k < spec.class_labels.size(); ++k)
+    legend_entry(os, ml + pw + 14, mt + 14 + static_cast<double>(k) * 18,
+                 palette_color(k), spec.class_labels[k], /*line=*/false);
+  svg_end(os);
+  return os.str();
+}
+
 }  // namespace nustencil::report

@@ -94,4 +94,28 @@ struct StackedBarSpec {
 /// Renders the stacked bars as a standalone SVG document.
 std::string render_stacked_bars_svg(const StackedBarSpec& spec);
 
+/// One point on a scatter plot, coloured by `cls` (an index into
+/// ScatterSpec::class_labels).
+struct ScatterPoint {
+  double x = 0.0;
+  double y = 0.0;
+  int cls = 0;
+};
+
+/// A classed scatter plot (e.g. the per-span roofline: arithmetic
+/// intensity vs achieved GFLOPS, coloured by straggler verdict).  Both
+/// axes are linear and start at zero; non-finite points are skipped.
+struct ScatterSpec {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  std::vector<std::string> class_labels;  ///< legend; colour = palette[cls]
+  std::vector<ScatterPoint> points;
+  int width = 760;
+  int height = 480;
+};
+
+/// Renders the scatter plot as a standalone SVG document.
+std::string render_scatter_svg(const ScatterSpec& spec);
+
 }  // namespace nustencil::report

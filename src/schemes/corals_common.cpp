@@ -300,6 +300,7 @@ RunResult run_corals_like(core::Problem& problem, const RunConfig& config,
 
     for (long tb = 0; tb < config.timesteps; tb += tau) {
       const long tau_act = std::min<long>(tau, config.timesteps - tb);
+      if (config.progress) config.progress->set_layer(tb / tau);
       const trace::ScopedSpan layer_span(
           rec, trace::Phase::Layer,
           {static_cast<std::int32_t>(tb / tau), static_cast<std::int32_t>(tb),
@@ -385,6 +386,13 @@ RunResult run_corals_like(core::Problem& problem, const RunConfig& config,
       // the tile total so the leaf phases still partition thread time.
       const Coord my_tc = tile_coord(counts, my_tile);
       std::int64_t t_prev = rec ? rec->now_ns() : 0;
+      // Chained spans bypass ScopedSpan, so they sample the per-span
+      // counters by hand: a snapshot at every chain point turns the
+      // cumulative counters into per-step deltas, preserving the
+      // deltas-sum-to-totals invariant on this path too.
+      const bool sampling = rec && rec->sampler();
+      trace::CounterSet prev_counters;
+      if (sampling) rec->sample(prev_counters);
       for (std::size_t j = 0; j < mine.bases.size(); ++j) {
         const SpaceTimeTile& base = mine.bases[j];
         const trace::ScopedSpan base_span(
@@ -404,11 +412,21 @@ RunResult run_corals_like(core::Problem& problem, const RunConfig& config,
           mine.progress[j].advance_to(t + 1);
           if (rec) {
             const std::int64_t end = rec->now_ns();
-            rec->record(trace::Phase::Tile, t_prev, end,
-                        {static_cast<std::int32_t>(box.lo[0]),
-                         rank >= 2 ? static_cast<std::int32_t>(box.lo[1]) : -1,
-                         rank >= 3 ? static_cast<std::int32_t>(box.lo[2]) : -1, tid},
-                        0, rec->total_ns(trace::Phase::SpinWait) - spin_before);
+            const trace::SpanArgs args{
+                static_cast<std::int32_t>(box.lo[0]),
+                rank >= 2 ? static_cast<std::int32_t>(box.lo[1]) : -1,
+                rank >= 3 ? static_cast<std::int32_t>(box.lo[2]) : -1, tid};
+            const std::int64_t spun =
+                rec->total_ns(trace::Phase::SpinWait) - spin_before;
+            if (sampling) {
+              trace::CounterSet now;
+              rec->sample(now);
+              const trace::CounterSet delta = now.delta_since(prev_counters);
+              rec->record(trace::Phase::Tile, t_prev, end, args, 0, spun, &delta);
+              prev_counters = now;
+            } else {
+              rec->record(trace::Phase::Tile, t_prev, end, args, 0, spun);
+            }
             t_prev = end;
           }
         }

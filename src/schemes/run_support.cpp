@@ -50,6 +50,7 @@ RunSupport::RunSupport(core::Problem& problem, const RunConfig& config)
   instr.checker = checker_ ? &*checker_ : nullptr;
   instr.cache_sim = config.cache_sim;
   instr.metrics = config.metrics;
+  instr.progress = config.progress;
   const core::KernelPolicy policy =
       config.use_simd ? config.kernel : core::KernelPolicy::Scalar;
   for (int tid = 0; tid < config.num_threads; ++tid) {
@@ -57,7 +58,23 @@ RunSupport::RunSupport(core::Problem& problem, const RunConfig& config)
     executors_.back()->set_trace(recorder(tid));
   }
 
+  if (config.profile_spans && trace_) {
+    profiler_.emplace();
+    profiler_->set_updates_source([this](int tid) {
+      return static_cast<std::uint64_t>(
+          executors_[static_cast<std::size_t>(tid)]->updates_done());
+    });
+    if (recorder_) profiler_->set_traffic_source(&*recorder_);
+    if (config.cache_sim) profiler_->set_cache_source(config.cache_sim);
+    trace_->set_sampler(&*profiler_);
+    trace_->set_flops_per_update(problem.stencil().flops());
+  }
+
   team_ = std::make_unique<threading::Team>(config.num_threads, config.pin_threads);
+}
+
+RunSupport::~RunSupport() {
+  if (profiler_ && trace_) trace_->set_sampler(nullptr);
 }
 
 void RunSupport::run_workers(const std::function<void(int)>& body) {
@@ -139,6 +156,8 @@ RunResult RunSupport::finish(const std::string& scheme_name, double seconds) {
   r.updates = total_updates();
   if (recorder_) r.traffic = recorder_->collect();
   if (trace_) r.phases = trace_->breakdown();
+  if (profiler_ && trace_)
+    r.prof = prof::summarize(*trace_, trace_->flops_per_update());
   if (checker_) checker_->check_all_at(config_->timesteps);
   if (pool_) {
     r.sched = pool_->stats();

@@ -12,6 +12,7 @@
 #include "core/reference.hpp"
 #include "numa/page_table.hpp"
 #include "numa/traffic.hpp"
+#include "prof/profiler.hpp"
 #include "sched/pool.hpp"
 #include "schemes/scheme.hpp"
 #include "thread/abort.hpp"
@@ -25,6 +26,10 @@ const topology::MachineSpec& default_machine();
 class RunSupport {
  public:
   RunSupport(core::Problem& problem, const RunConfig& config);
+
+  /// Detaches the per-span counter sampler from the (caller-owned) trace
+  /// so a reused Trace never dereferences a dead Profiler.
+  ~RunSupport();
 
   core::Problem& problem() { return *problem_; }
   const RunConfig& config() const { return *config_; }
@@ -86,6 +91,7 @@ class RunSupport {
   std::optional<numa::PageTable> pages_;
   std::optional<numa::VirtualTopology> topo_;
   std::optional<numa::TrafficRecorder> recorder_;
+  std::optional<prof::Profiler> profiler_;  ///< per-span counter sampler
   std::optional<core::DependencyChecker> checker_;
   std::vector<std::unique_ptr<core::Executor>> executors_;
   std::unique_ptr<threading::Team> team_;

@@ -17,6 +17,8 @@
 #include "core/kernels.hpp"
 #include "metrics/registry.hpp"
 #include "numa/traffic.hpp"
+#include "prof/attribution.hpp"
+#include "prof/progress.hpp"
 #include "sched/schedule.hpp"
 #include "topology/machine.hpp"
 #include "trace/trace.hpp"
@@ -89,6 +91,19 @@ struct RunConfig {
   /// of one branch.
   metrics::Registry* metrics = nullptr;
 
+  /// Per-span performance attribution: attach counter deltas (updates,
+  /// traffic bytes, simulated cache hits/misses) to every Tile/Init span
+  /// of the trace and summarise them into RunResult.prof.  Requires
+  /// `trace`; the counters available depend on which instrumentation
+  /// sources (`instrument`, `cache_sim`) the run enables.
+  bool profile_spans = false;
+
+  /// Optional live progress heartbeat (layer, updates/s, locality %).
+  /// The caller owns the meter and its interval; the run wires it to the
+  /// executors and the schemes' layer loops.  Null disables the hook at
+  /// the cost of one branch per tile.
+  prof::ProgressMeter* progress = nullptr;
+
   /// Locality time-series sampling window, in cell updates per thread
   /// (requires `instrument`).  0 picks an automatic window of roughly 32
   /// samples per thread over the run; negative disables sampling.
@@ -114,6 +129,11 @@ struct RunResult {
   /// wait, init) plus the load-imbalance ratio; `phases.enabled` is false
   /// unless RunConfig::trace or collect_phase_metrics was set.
   trace::PhaseBreakdown phases;
+
+  /// Per-span attribution summary (exact counter totals, top-K
+  /// stragglers with verdicts, roofline scatter); `prof.enabled` is false
+  /// unless RunConfig::profile_spans was set with a trace.
+  prof::ProfSummary prof;
 
   double gupdates_per_second() const {
     return seconds > 0 ? static_cast<double>(updates) / seconds * 1e-9 : 0.0;

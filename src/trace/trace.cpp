@@ -9,6 +9,23 @@
 
 namespace nustencil::trace {
 
+const char* span_counter_name(SpanCounter c) {
+  switch (c) {
+    case SpanCounter::Updates: return "updates";
+    case SpanCounter::LocalBytes: return "local_bytes";
+    case SpanCounter::RemoteBytes: return "remote_bytes";
+    case SpanCounter::UnownedBytes: return "unowned_bytes";
+    case SpanCounter::L1Hits: return "l1_hits";
+    case SpanCounter::L1Misses: return "l1_misses";
+    case SpanCounter::L2Hits: return "l2_hits";
+    case SpanCounter::L2Misses: return "l2_misses";
+    case SpanCounter::L3Hits: return "l3_hits";
+    case SpanCounter::L3Misses: return "l3_misses";
+    case SpanCounter::kCount: break;
+  }
+  return "?";
+}
+
 const char* phase_name(Phase p) {
   switch (p) {
     case Phase::Init: return "init";
@@ -43,6 +60,7 @@ void Trace::begin_run(int num_threads) {
     ThreadRecorder& rec = threads_[static_cast<std::size_t>(tid)];
     rec.epoch_ = epoch;
     rec.tid_ = tid;
+    rec.sampler_ = sampler_;
     rec.capacity_ = events_per_thread_;
     rec.ring_.resize(events_per_thread_);
   }
@@ -122,7 +140,8 @@ ArgNames phase_arg_names(Phase p) {
   return {nullptr, nullptr, nullptr};
 }
 
-void write_event_json(std::ostream& os, int tid, const Event& e) {
+void write_event_json(std::ostream& os, int tid, const Event& e,
+                      int flops_per_update) {
   // Timestamps in microseconds (the unit the trace-event format expects).
   os << "{\"name\":\"" << phase_name(e.phase) << "\",\"cat\":\""
      << phase_category(e.phase) << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << tid
@@ -136,6 +155,11 @@ void write_event_json(std::ostream& os, int tid, const Event& e) {
     os << '\"' << name << "\":" << value;
     first = false;
   };
+  auto argd = [&](const char* name, double value) {
+    if (!first) os << ',';
+    os << '\"' << name << "\":" << value;
+    first = false;
+  };
   const ArgNames names = phase_arg_names(e.phase);
   if (e.args.a != -1 || e.phase == Phase::Layer) arg(names.a, e.args.a);
   if (e.args.b != -1 || e.phase == Phase::Layer) arg(names.b, e.args.b);
@@ -143,7 +167,51 @@ void write_event_json(std::ostream& os, int tid, const Event& e) {
   if (e.args.owner != -1) arg("owner", e.args.owner);
   if (e.phase == Phase::BarrierWait || e.phase == Phase::SpinWait)
     arg("spins", static_cast<long long>(e.spins));
+  if (e.exclude_ns > 0) argd("excl_us", static_cast<double>(e.exclude_ns) * 1e-3);
+  if (e.has_counters) {
+    // Raw per-span deltas (zero-valued slots are omitted to keep the
+    // document small), then the derived headline metrics.
+    const CounterSet& c = e.counters;
+    for (int i = 0; i < kNumSpanCounters; ++i) {
+      const auto sc = static_cast<SpanCounter>(i);
+      if (c.at(sc) != 0)
+        arg(span_counter_name(sc), static_cast<long long>(c.at(sc)));
+    }
+    if (c.total_bytes() > 0) {
+      arg("bytes", static_cast<long long>(c.total_bytes()));
+      argd("locality_pct", c.locality() * 100.0);
+      if (flops_per_update > 0 && c.at(SpanCounter::Updates) > 0)
+        argd("ai_flop_per_byte",
+             static_cast<double>(c.at(SpanCounter::Updates)) * flops_per_update /
+                 static_cast<double>(c.total_bytes()));
+    }
+    if (const int deep = c.deepest_level(); deep >= 0)
+      argd("miss_pct", c.miss_rate(deep) * 100.0);
+    const double dur_us = static_cast<double>(e.end_ns - e.start_ns) * 1e-3;
+    if (c.at(SpanCounter::Updates) > 0 && dur_us > 0.0)
+      argd("mups", static_cast<double>(c.at(SpanCounter::Updates)) / dur_us);
+  }
   os << "}}";
+}
+
+/// One "C" (counter) sample per counter-carrying span: a per-thread
+/// locality-% track and a per-thread remote-byte-rate track, named with
+/// the worker id so Perfetto renders one track per thread.
+void write_counter_samples_json(std::ostream& os, int tid, const Event& e) {
+  const CounterSet& c = e.counters;
+  if (c.total_bytes() == 0) return;
+  const double ts_us = static_cast<double>(e.start_ns) * 1e-3;
+  const double dur_s = static_cast<double>(e.end_ns - e.start_ns) * 1e-9;
+  os << ",\n{\"name\":\"locality % w" << tid
+     << "\",\"ph\":\"C\",\"pid\":0,\"tid\":" << tid << ",\"ts\":" << ts_us
+     << ",\"args\":{\"locality\":" << c.locality() * 100.0 << "}}";
+  const double remote_mbs =
+      dur_s > 0.0
+          ? static_cast<double>(c.at(SpanCounter::RemoteBytes)) / dur_s / 1e6
+          : 0.0;
+  os << ",\n{\"name\":\"remote MB/s w" << tid
+     << "\",\"ph\":\"C\",\"pid\":0,\"tid\":" << tid << ",\"ts\":" << ts_us
+     << ",\"args\":{\"rate\":" << remote_mbs << "}}";
 }
 
 }  // namespace
@@ -165,8 +233,10 @@ void Trace::write_chrome_json(std::ostream& os) const {
                      });
     for (const Event& e : events) {
       os << ",\n";
-      write_event_json(os, tid, e);
+      write_event_json(os, tid, e, flops_per_update_);
     }
+    for (const Event& e : events)
+      if (e.has_counters) write_counter_samples_json(os, tid, e);
   }
   os << "\n]}\n";
 }

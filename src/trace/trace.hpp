@@ -63,12 +63,123 @@ struct SpanArgs {
   std::int32_t owner = -1;
 };
 
+/// Fixed slot layout of the per-span counter deltas (the simulated-PMU
+/// equivalent of a perf counter group).  The slots are defined here so
+/// the serializers can derive byte totals, locality and miss rates
+/// without knowing the sampler implementation; the sampler that fills
+/// them from the run's instrumentation sources lives in src/prof/.
+enum class SpanCounter : std::uint8_t {
+  Updates = 0,   ///< cell updates (Executor::updates_done)
+  LocalBytes,    ///< node-local owned traffic bytes
+  RemoteBytes,   ///< cross-node owned traffic bytes
+  UnownedBytes,  ///< traffic against never-touched pages
+  L1Hits,
+  L1Misses,
+  L2Hits,
+  L2Misses,
+  L3Hits,
+  L3Misses,
+  kCount
+};
+
+inline constexpr int kNumSpanCounters = static_cast<int>(SpanCounter::kCount);
+
+const char* span_counter_name(SpanCounter c);
+
+/// One cumulative-or-delta sample of every span counter.
+struct CounterSet {
+  std::array<std::uint64_t, kNumSpanCounters> v{};
+
+  std::uint64_t& at(SpanCounter c) { return v[static_cast<std::size_t>(c)]; }
+  std::uint64_t at(SpanCounter c) const { return v[static_cast<std::size_t>(c)]; }
+
+  /// Element-wise `this - earlier` (counters are monotone; callers pass
+  /// the start-of-span sample).
+  CounterSet delta_since(const CounterSet& earlier) const {
+    CounterSet d;
+    for (int i = 0; i < kNumSpanCounters; ++i) d.v[static_cast<std::size_t>(i)] =
+        v[static_cast<std::size_t>(i)] - earlier.v[static_cast<std::size_t>(i)];
+    return d;
+  }
+
+  void accumulate(const CounterSet& d) {
+    for (int i = 0; i < kNumSpanCounters; ++i)
+      v[static_cast<std::size_t>(i)] += d.v[static_cast<std::size_t>(i)];
+  }
+
+  bool any() const {
+    for (const std::uint64_t x : v)
+      if (x != 0) return true;
+    return false;
+  }
+
+  std::uint64_t owned_bytes() const {
+    return at(SpanCounter::LocalBytes) + at(SpanCounter::RemoteBytes);
+  }
+  std::uint64_t total_bytes() const {
+    return owned_bytes() + at(SpanCounter::UnownedBytes);
+  }
+  /// Fraction of owned traffic that was node-local (1.0 when none).
+  double locality() const {
+    const std::uint64_t owned = owned_bytes();
+    return owned == 0 ? 1.0
+                      : static_cast<double>(at(SpanCounter::LocalBytes)) /
+                            static_cast<double>(owned);
+  }
+
+  static constexpr int kMaxCacheLevels = 3;
+  std::uint64_t level_hits(int level) const {
+    return v[static_cast<std::size_t>(SpanCounter::L1Hits) +
+             2 * static_cast<std::size_t>(level)];
+  }
+  std::uint64_t level_misses(int level) const {
+    return v[static_cast<std::size_t>(SpanCounter::L1Misses) +
+             2 * static_cast<std::size_t>(level)];
+  }
+  /// Deepest cache level (0-based) with any activity, or -1.
+  int deepest_level() const {
+    for (int l = kMaxCacheLevels - 1; l >= 0; --l)
+      if (level_hits(l) + level_misses(l) != 0) return l;
+    return -1;
+  }
+  /// Miss rate of `level` (0.0 when the level saw no accesses).
+  double miss_rate(int level) const {
+    const std::uint64_t total = level_hits(level) + level_misses(level);
+    return total == 0 ? 0.0
+                      : static_cast<double>(level_misses(level)) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Source of cumulative per-thread counter values, sampled at leaf-span
+/// boundaries.  Implementations must be safe to call from thread `tid`
+/// for that tid's own counters only (single-writer shards).
+class CounterSampler {
+ public:
+  virtual ~CounterSampler() = default;
+  virtual void sample(int tid, CounterSet& out) const = 0;
+};
+
+/// Only these leaf phases carry counter deltas.  Every instrumented
+/// increment (updates, traffic bytes, simulated cache accesses) happens
+/// inside Executor::update_box / first_touch_box — i.e. inside a Tile or
+/// Init span — and those spans never nest in each other, so restricting
+/// sampling to them makes the per-span deltas sum *exactly* to the run
+/// totals: wait spans and structural spans contribute nothing and
+/// nothing is counted twice.
+constexpr bool phase_carries_counters(Phase p) {
+  return p == Phase::Tile || p == Phase::Init;
+}
+
 struct Event {
   std::int64_t start_ns = 0;
   std::int64_t end_ns = 0;
-  std::uint64_t spins = 0;  ///< spin-loop iterations (wait phases only)
+  std::int64_t exclude_ns = 0;  ///< nested leaf time (kept for attribution)
+  std::uint64_t spins = 0;      ///< spin-loop iterations (wait phases only)
+  CounterSet counters;          ///< per-span deltas; valid iff has_counters
   SpanArgs args;
   Phase phase = Phase::Tile;
+  bool has_counters = false;
 };
 
 /// Per-thread recorder: exact phase totals plus a fixed-capacity event
@@ -89,23 +200,44 @@ class ThreadRecorder {
   /// other leaf spans — e.g. a tile span covering a spin wait — passes
   /// the nested leaf time here so the totals still partition thread time,
   /// while the timeline keeps the span's full extent for nesting.
+  /// `counters`, when non-null, is the span's counter delta; it is stored
+  /// on the event and accumulated into the per-phase counter totals,
+  /// which — like the time totals — live outside the ring and stay exact
+  /// when the ring overflows.
   void record(Phase phase, std::int64_t start_ns, std::int64_t end_ns,
               SpanArgs args = {}, std::uint64_t spins = 0,
-              std::int64_t exclude_ns = 0) {
+              std::int64_t exclude_ns = 0,
+              const CounterSet* counters = nullptr) {
     const auto i = static_cast<std::size_t>(phase);
     total_ns_[i] += end_ns - start_ns - exclude_ns;
     span_count_[i] += 1;
     spin_count_[i] += spins;
+    if (counters) counter_totals_[i].accumulate(*counters);
     if (capacity_ == 0) return;  // metrics-only mode: no event storage
     Event& e = ring_[next_];
     e.start_ns = start_ns;
     e.end_ns = end_ns;
+    e.exclude_ns = exclude_ns;
     e.spins = spins;
     e.args = args;
     e.phase = phase;
+    if (counters) {
+      e.counters = *counters;
+      e.has_counters = true;
+    } else {
+      e.has_counters = false;
+    }
     next_ = (next_ + 1) % capacity_;
     recorded_ += 1;
   }
+
+  /// The attached simulated-PMU sampler; null = per-span counters off
+  /// (the ScopedSpan fast path is then one extra null check).
+  const CounterSampler* sampler() const { return sampler_; }
+
+  /// Samples the cumulative counters of this recorder's thread.  Call
+  /// from the owning thread only, and only when sampler() is non-null.
+  void sample(CounterSet& out) const { sampler_->sample(tid_, out); }
 
   int tid() const { return tid_; }
   std::size_t capacity() const { return capacity_; }
@@ -128,11 +260,18 @@ class ThreadRecorder {
     return spin_count_[static_cast<std::size_t>(p)];
   }
 
+  /// Exact per-phase sum of every counter delta recorded for `p`
+  /// (accumulated outside the ring, unaffected by drops).
+  const CounterSet& counter_total(Phase p) const {
+    return counter_totals_[static_cast<std::size_t>(p)];
+  }
+
  private:
   friend class Trace;
 
   std::chrono::steady_clock::time_point epoch_{};
   int tid_ = 0;
+  const CounterSampler* sampler_ = nullptr;
   std::vector<Event> ring_;
   std::size_t capacity_ = 0;
   std::size_t next_ = 0;
@@ -140,19 +279,37 @@ class ThreadRecorder {
   std::array<std::int64_t, kNumPhases> total_ns_{};
   std::array<std::uint64_t, kNumPhases> span_count_{};
   std::array<std::uint64_t, kNumPhases> spin_count_{};
+  std::array<CounterSet, kNumPhases> counter_totals_{};
 };
 
 /// RAII span: takes the start timestamp on construction and records on
 /// destruction.  A null recorder makes both ends a no-op, so call sites
-/// need no branches of their own.
+/// need no branches of their own.  When the recorder carries a counter
+/// sampler and the phase is a counter-carrying leaf (Tile/Init), both
+/// ends additionally snapshot the thread's cumulative counters and the
+/// recorded event carries the delta.
 class ScopedSpan {
  public:
   ScopedSpan(ThreadRecorder* rec, Phase phase, SpanArgs args = {})
       : rec_(rec), phase_(phase), args_(args) {
-    if (rec_) start_ns_ = rec_->now_ns();
+    if (rec_) {
+      start_ns_ = rec_->now_ns();
+      if (rec_->sampler() && phase_carries_counters(phase_)) {
+        sampled_ = true;
+        rec_->sample(start_counters_);
+      }
+    }
   }
   ~ScopedSpan() {
-    if (rec_) rec_->record(phase_, start_ns_, rec_->now_ns(), args_);
+    if (!rec_) return;
+    if (sampled_) {
+      CounterSet now;
+      rec_->sample(now);
+      const CounterSet delta = now.delta_since(start_counters_);
+      rec_->record(phase_, start_ns_, rec_->now_ns(), args_, 0, 0, &delta);
+    } else {
+      rec_->record(phase_, start_ns_, rec_->now_ns(), args_);
+    }
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
@@ -162,6 +319,8 @@ class ScopedSpan {
   Phase phase_;
   SpanArgs args_;
   std::int64_t start_ns_ = 0;
+  bool sampled_ = false;
+  CounterSet start_counters_;
 };
 
 /// Aggregated per-thread, per-phase totals — the RunResult.phases payload.
@@ -229,17 +388,37 @@ class Trace {
   int num_threads() const { return static_cast<int>(threads_.size()); }
   std::size_t events_per_thread() const { return events_per_thread_; }
 
+  /// Attaches (or detaches, with null) the simulated-PMU sampler to
+  /// every recorder, current and future.  Call between runs, never while
+  /// workers are recording.
+  void set_sampler(const CounterSampler* sampler) {
+    sampler_ = sampler;
+    for (ThreadRecorder& t : threads_) t.sampler_ = sampler;
+  }
+  const CounterSampler* sampler() const { return sampler_; }
+
+  /// Arithmetic cost of one cell update, used by the JSON serializer to
+  /// derive arithmetic intensity (flops/byte) from the counter deltas.
+  /// 0 (the default) omits the derived args.
+  void set_flops_per_update(int flops) { flops_per_update_ = flops; }
+  int flops_per_update() const { return flops_per_update_; }
+
   /// Aggregates the recorders' totals (exact, unaffected by ring drops).
   PhaseBreakdown breakdown() const;
 
   /// Chrome trace-event JSON: one "X" (complete) event per span, one
   /// track per thread, timestamps in microseconds since the run epoch.
-  /// Loadable in Perfetto and chrome://tracing.
+  /// Counter-carrying spans get their deltas (bytes, miss rate, M up/s,
+  /// arithmetic intensity) as span args plus per-thread "C" counter
+  /// tracks (locality %, remote MB/s).  Loadable in Perfetto and
+  /// chrome://tracing.
   void write_chrome_json(std::ostream& os) const;
   void write_chrome_json_file(const std::string& path) const;
 
  private:
   std::size_t events_per_thread_;
+  const CounterSampler* sampler_ = nullptr;
+  int flops_per_update_ = 0;
   std::vector<ThreadRecorder> threads_;
 };
 

@@ -1,6 +1,8 @@
 // Command-line argument parser.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/args.hpp"
 
 namespace nustencil {
@@ -114,6 +116,58 @@ TEST(ArgParser, ValidateThreadCountRejectsMoreThanMachineCores) {
     EXPECT_NE(std::string(e.what()).find("33"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("32"), std::string::npos);
   }
+}
+
+TEST(ArgParser, ValidatePositiveAcceptsCounts) {
+  EXPECT_EQ(ArgParser::validate_positive("--trace-buffer", 1), 1);
+  EXPECT_EQ(ArgParser::validate_positive("--trace-buffer", 1 << 20), 1 << 20);
+}
+
+TEST(ArgParser, ValidatePositiveRejectsZeroAndNegative) {
+  EXPECT_THROW(ArgParser::validate_positive("--trace-buffer", 0), Error);
+  EXPECT_THROW(ArgParser::validate_positive("--trace-buffer", -5), Error);
+  try {
+    ArgParser::validate_positive("--trace-buffer", -5);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    // The message must name the flag and echo the offending value.
+    EXPECT_NE(std::string(e.what()).find("--trace-buffer"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("-5"), std::string::npos);
+  }
+}
+
+TEST(ArgParser, ValidatePositiveSecondsAcceptsFractions) {
+  EXPECT_DOUBLE_EQ(ArgParser::validate_positive_seconds("--progress", 0.25),
+                   0.25);
+  EXPECT_DOUBLE_EQ(ArgParser::validate_positive_seconds("--progress", 10.0),
+                   10.0);
+}
+
+TEST(ArgParser, ValidatePositiveSecondsRejectsZeroNegativeAndNonFinite) {
+  EXPECT_THROW(ArgParser::validate_positive_seconds("--progress", 0.0), Error);
+  EXPECT_THROW(ArgParser::validate_positive_seconds("--progress", -1.5), Error);
+  EXPECT_THROW(ArgParser::validate_positive_seconds(
+                   "--progress", std::numeric_limits<double>::infinity()),
+               Error);
+  EXPECT_THROW(ArgParser::validate_positive_seconds(
+                   "--progress", std::numeric_limits<double>::quiet_NaN()),
+               Error);
+  try {
+    ArgParser::validate_positive_seconds("--progress", -1.5);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--progress"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("-1.5"), std::string::npos);
+  }
+}
+
+TEST(ArgParser, MalformedNumberForSecondsOptionThrows) {
+  // The CLI path is get_double() then validate_positive_seconds(); a
+  // malformed value must fail at the parse step, not slip through as 0.
+  ArgParser p("prog", "x");
+  p.add_option("progress", "heartbeat seconds", "");
+  ASSERT_TRUE(parse(p, {"--progress", "2s"}));
+  EXPECT_THROW(p.get_double("progress"), Error);
 }
 
 }  // namespace

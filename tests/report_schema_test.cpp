@@ -34,17 +34,18 @@ TEST(Schema, CsvDetailColumnPrefix) {
 
 TEST(Schema, RunReportTopLevelKeysAreGolden) {
   const std::vector<std::string> golden = {
-      "schema_version", "generator", "config",   "machine",
-      "result",         "traffic",   "cache",    "phases",
-      "sched",          "model",     "counters", "gauges",
-      "histograms"};
+      "schema_version", "generator", "provenance", "config",
+      "machine",        "result",    "traffic",    "cache",
+      "phases",         "sched",     "prof",       "model",
+      "counters",       "gauges",    "histograms"};
   EXPECT_EQ(run_report_top_level_keys(), golden);
 }
 
 TEST(Schema, VersionIsPinned) {
   // Bumped deliberately whenever a golden list above changes.
   // v2: top-level "sched" section + config.schedule.
-  EXPECT_EQ(kRunReportSchemaVersion, 2);
+  // v3: top-level "provenance" and "prof" sections.
+  EXPECT_EQ(kRunReportSchemaVersion, 3);
 }
 
 TEST(Schema, EmittedDocumentMatchesDeclaredKeys) {

@@ -18,6 +18,9 @@
 #include <sstream>
 
 #include "common/args.hpp"
+#include "common/provenance.hpp"
+#include "prof/flamegraph.hpp"
+#include "prof/progress.hpp"
 #include "schemes/explain.hpp"
 #include "topology/machine_file.hpp"
 #include "common/table.hpp"
@@ -206,6 +209,19 @@ int main(int argc, char** argv) try {
   args.add_option("trace-svg", "render the per-thread span timeline to this SVG file",
                   "");
   args.add_option("trace-buffer", "trace event ring capacity per thread", "65536");
+  args.add_option("flamegraph",
+                  "write the run's span stacks in collapsed/folded format "
+                  "to this file (load with speedscope or flamegraph.pl)",
+                  "");
+  args.add_option("flamegraph-weight",
+                  "flamegraph frame weight: time (self wall time), remote "
+                  "(remote traffic bytes) or misses (deepest-level cache "
+                  "misses)",
+                  "time");
+  args.add_option("progress",
+                  "print a live heartbeat (layer, updates/s, locality %) to "
+                  "stderr every SECONDS seconds",
+                  "");
   args.add_option("report",
                   "write a schema-versioned JSON run report to this file "
                   "(enables instrumentation, phase metrics and — unless "
@@ -258,12 +274,23 @@ int main(int argc, char** argv) try {
   const std::string trace_path = args.get("trace");
   const std::string trace_svg_path = args.get("trace-svg");
   const std::string report_path = args.get("report");
-  const bool want_trace = !trace_path.empty() || !trace_svg_path.empty();
+  const std::string flame_path = args.get("flamegraph");
+  const prof::FlameWeight flame_weight =
+      prof::parse_flame_weight(args.get("flamegraph-weight"));
+  const bool want_trace =
+      !trace_path.empty() || !trace_svg_path.empty() || !flame_path.empty();
   const bool want_report = !report_path.empty();
   const bool want_cache_sim = want_report && !args.get_flag("no-cache-sim");
   const bool want_phases =
       args.get_flag("phase-metrics") || want_trace || want_report;
-  const int trace_buffer = static_cast<int>(args.get_long("trace-buffer"));
+  const int trace_buffer = static_cast<int>(
+      ArgParser::validate_positive("--trace-buffer", args.get_long("trace-buffer")));
+  // --progress takes an interval in seconds; empty (the default) is off.
+  const double progress_interval =
+      args.get("progress").empty()
+          ? 0.0
+          : ArgParser::validate_positive_seconds("--progress",
+                                                 args.get_double("progress"));
 
   if (args.get_flag("explain")) {
     std::cout << schemes::describe_plan(args.get("scheme"), shape, stencil, *machine,
@@ -305,6 +332,10 @@ int main(int argc, char** argv) try {
       cfg.trace = &*tr;
     }
     cfg.collect_phase_metrics = want_phases;
+    // Per-span counter attribution rides on any trace; a report-only run
+    // still profiles through the metrics-only recorder (no events, but
+    // the exact counter totals feed the report's prof section).
+    cfg.profile_spans = want_trace || want_report;
 
     std::optional<metrics::Registry> registry;
     std::optional<cachesim::SharedHierarchy> cache_sim;
@@ -318,8 +349,20 @@ int main(int argc, char** argv) try {
       }
     }
 
+    std::optional<prof::ProgressMeter> progress;
+    if (progress_interval > 0.0) {
+      progress.emplace(progress_interval, std::cerr);
+      progress->begin_run(args.get("scheme") + " t" + std::to_string(threads),
+                          threads,
+                          static_cast<std::uint64_t>(shape.product()) *
+                              static_cast<std::uint64_t>(cfg.timesteps));
+      cfg.progress = &*progress;
+      progress->start();
+    }
+
     core::Problem problem(shape, stencil);
     const schemes::RunResult result = scheme->run(problem, cfg);
+    if (progress) progress->stop();
     const double diff = args.get_flag("verify")
                             ? verify_against_reference(problem, shape, stencil, cfg)
                             : std::nan("");
@@ -338,6 +381,13 @@ int main(int argc, char** argv) try {
                                 path);
       std::cout << "wrote timeline SVG to " << path << '\n';
     }
+    if (tr && !flame_path.empty()) {
+      const std::string path = per_run_path(flame_path, threads, sweeping);
+      prof::write_flamegraph_file(path, *tr, result.scheme, flame_weight);
+      std::cout << "wrote " << prof::flame_weight_name(flame_weight)
+                << "-weighted flamegraph to " << path
+                << " (load at https://speedscope.app or with flamegraph.pl)\n";
+    }
     if (want_report) {
       metrics::RunReport rep;
       rep.scheme = result.scheme;
@@ -354,7 +404,14 @@ int main(int argc, char** argv) try {
       rep.pin_policy =
           cfg.pin_policy == numa::PinPolicy::Compact ? "compact" : "scatter";
       rep.schedule = sched::schedule_name(schedule);
+      const BuildInfo& build = build_info();
+      rep.git_sha = build.git_sha;
+      rep.compiler = build.compiler;
+      rep.compiler_flags = build.compiler_flags;
+      rep.build_type = build.build_type;
+      rep.machine_conf = args.get("machine");
       rep.sched = result.sched;
+      rep.prof = &result.prof;
       rep.machine = machine;
       rep.seconds = result.seconds;
       rep.updates = result.updates;

@@ -170,6 +170,102 @@ std::string cache_table(const JsonValue& cache) {
   return os.str();
 }
 
+// Maps a straggler verdict to a stable palette class so the table badge
+// and the span-roofline scatter use the same colours.
+int verdict_class(const std::string& verdict) {
+  if (verdict == "remote-traffic-bound") return 1;
+  if (verdict == "cache-miss-bound") return 2;
+  if (verdict == "spin-bound") return 3;
+  return 0;  // compute-bound
+}
+
+std::string straggler_table(const JsonValue& prof) {
+  const JsonValue* stragglers = prof.find("stragglers");
+  if (!stragglers || !stragglers->is_array() || stragglers->array.empty())
+    return "<p>No stragglers recorded (run without --trace, or no sampled "
+           "spans).</p>\n";
+  std::ostringstream os;
+  os << "<table>\n<tr><th>#</th><th>thread</th><th>phase</th><th>ms</th>"
+        "<th>x mean</th><th>verdict</th><th>spin</th><th>remote</th>"
+        "<th>miss</th><th>updates</th></tr>\n";
+  std::size_t rank = 1;
+  for (const JsonValue& s : stragglers->array) {
+    const std::string verdict = s.at("verdict").str();
+    const double mean = s.at("mean_dur_ms").num();
+    const double ratio = mean > 0.0 ? s.at("dur_ms").num() / mean : 0.0;
+    os << "<tr><td>" << rank++ << "</td><td>"
+       << report::fmt_num(s.at("tid").num()) << "</td><td>"
+       << report::svg_escape(s.at("phase").str()) << "</td><td>"
+       << report::fmt_num(s.at("dur_ms").num()) << "</td><td>"
+       << report::fmt_num(ratio) << "x</td><td><span class='verdict v"
+       << verdict_class(verdict) << "'>" << report::svg_escape(verdict)
+       << "</span></td><td>"
+       << report::fmt_num(s.at("spin_frac").num() * 100.0) << " %</td><td>"
+       << report::fmt_num(s.at("remote_frac").num() * 100.0) << " %</td><td>"
+       << report::fmt_num(s.at("miss_rate").num() * 100.0) << " %</td><td>"
+       << report::fmt_num(s.at("updates").num()) << "</td></tr>\n";
+  }
+  os << "</table>\n";
+  return os.str();
+}
+
+std::string span_roofline_panel(const JsonValue& prof) {
+  const JsonValue* roofline = prof.find("roofline");
+  if (!roofline || !roofline->is_array() || roofline->array.empty())
+    return "<p>No per-span samples (run with --trace to collect them).</p>\n";
+
+  report::ScatterSpec sc;
+  sc.title = "per-span roofline (one point per sampled tile)";
+  sc.x_label = "arithmetic intensity (FLOP/byte)";
+  sc.y_label = "GFLOPS";
+  sc.class_labels = {"compute-bound", "remote-traffic-bound",
+                     "cache-miss-bound", "spin-bound"};
+  for (const JsonValue& p : roofline->array) {
+    report::ScatterPoint pt;
+    pt.x = p.at("ai").num();
+    pt.y = p.at("gflops").num();
+    pt.cls = verdict_class(p.at("verdict").str());
+    sc.points.push_back(pt);
+  }
+  return report::render_scatter_svg(sc);
+}
+
+std::string prof_section(const JsonValue& doc) {
+  const JsonValue* prof = doc.find("prof");
+  std::ostringstream os;
+  os << "<h2>Per-span attribution</h2>\n";
+  if (!prof || !prof->at("enabled").boolean_value()) {
+    os << "<p>Per-span attribution was disabled for this run.</p>\n";
+    return os.str();
+  }
+  os << "<p>" << report::fmt_num(prof->at("sampled_spans").num())
+     << " spans sampled, " << report::fmt_num(prof->at("dropped_events").num())
+     << " trace events dropped.</p>\n";
+  os << "<h3>Stragglers (slowest spans)</h3>\n" << straggler_table(*prof);
+  os << "<h3>Span roofline</h3>\n" << span_roofline_panel(*prof);
+  return os.str();
+}
+
+std::string provenance_footer(const JsonValue& doc) {
+  const JsonValue* prov = doc.find("provenance");
+  if (!prov) return "";
+  std::ostringstream os;
+  os << "<footer><p class='prov'>";
+  const auto item = [&](const char* key, const std::string& label) {
+    if (const JsonValue* v = prov->find(key); v && !v->str().empty())
+      os << label << " " << report::svg_escape(v->str()) << " &middot; ";
+  };
+  item("git_sha", "commit");
+  item("compiler", "compiler");
+  item("build_type", "build");
+  item("machine_conf", "machine conf");
+  if (const JsonValue* flags = prov->find("compiler_flags");
+      flags && !flags->str().empty())
+    os << "flags <code>" << report::svg_escape(flags->str()) << "</code>";
+  os << "</p></footer>\n";
+  return os.str();
+}
+
 std::string counters_table(const JsonValue& doc) {
   const JsonValue& counters = doc.at("counters");
   if (counters.object.empty()) return "";
@@ -197,6 +293,13 @@ std::string render_dashboard(const JsonValue& doc) {
         "th,td{border:1px solid #ccc;padding:4px 10px;text-align:left;"
         "font-size:14px;}\n"
         "svg{display:block;margin:16px 0;}\n"
+        // Verdict badge colours match palette_color(verdict_class(...)).
+        ".verdict{color:white;padding:1px 6px;border-radius:3px;"
+        "font-size:12px;}\n"
+        ".v0{background:#1f77b4;}.v1{background:#d62728;}\n"
+        ".v2{background:#2ca02c;}.v3{background:#ff7f0e;}\n"
+        "footer p.prov{color:#777;font-size:12px;border-top:1px solid #ccc;"
+        "padding-top:8px;}\n"
         "</style>\n</head>\n<body>\n";
   os << "<h1>nustencil run report</h1>\n";
   os << summary_table(doc);
@@ -205,7 +308,9 @@ std::string render_dashboard(const JsonValue& doc) {
   os << "<h2>Phases</h2>\n" << phases_panel(doc.at("phases"));
   os << "<h2>Roofline</h2>\n" << roofline_panel(doc);
   os << "<h2>Cache hierarchy</h2>\n" << cache_table(doc.at("cache"));
+  os << prof_section(doc);
   os << counters_table(doc);
+  os << provenance_footer(doc);
   os << "</body>\n</html>\n";
   return os.str();
 }
