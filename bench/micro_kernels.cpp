@@ -1,10 +1,17 @@
 // Google-benchmark microbenchmarks of the stencil kernels on this host:
-// a sweep over the kernel engine's policies (scalar vs SSE2 vs AVX2 vs
-// FMA, tap-specialized vs the generic runtime-taps baseline), constant
-// vs banded, orders 1-3.  These measure real wall time (unlike the
-// figure benches, which model the paper machines).  For the JSON perf
-// trajectory written to BENCH_kernels.json, see bench/kernel_report.cpp.
+// the full kernel-engine matrix — every tap count the engine specializes
+// (7/13/19-point, 3D orders 1-3) times constant vs banded coefficients
+// times every policy (scalar / SSE2 / AVX2 / FMA / generic baseline /
+// auto) — registered programmatically so no combination can silently
+// drop out of the sweep.  These measure real wall time (unlike the
+// figure benches, which model the paper machines); run with
+// --benchmark_format=json for one JSON blob per combination.  For the
+// JSON perf trajectory written to BENCH_kernels.json, see
+// bench/kernel_report.cpp.
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "core/executor.hpp"
 #include "core/field.hpp"
@@ -13,12 +20,12 @@
 namespace {
 
 using namespace nustencil;
+using core::KernelPolicy;
 
 /// Skips (instead of silently downgrading) when this host can't honour
 /// the requested policy, so the reported numbers are what they claim.
-bool policy_runnable(core::KernelPolicy policy) {
+bool policy_runnable(KernelPolicy policy) {
   using core::KernelIsa;
-  using core::KernelPolicy;
   switch (policy) {
     case KernelPolicy::SSE2: return core::kernel_isa_supported(KernelIsa::SSE2);
     case KernelPolicy::AVX2: return core::kernel_isa_supported(KernelIsa::AVX2);
@@ -29,14 +36,20 @@ bool policy_runnable(core::KernelPolicy policy) {
   }
 }
 
-void run_sweep(benchmark::State& state, const core::StencilSpec& stencil,
-               core::KernelPolicy policy) {
+core::StencilSpec make_stencil(int order, bool banded) {
+  if (banded) return core::StencilSpec::banded_star(3, order);
+  if (order == 1) return core::StencilSpec::paper_3d7p();
+  return core::StencilSpec::stable_star(3, order);
+}
+
+void run_sweep(benchmark::State& state, int order, bool banded,
+               KernelPolicy policy) {
   if (!policy_runnable(policy)) {
     state.SkipWithError("kernel policy unsupported on this host");
     return;
   }
   const Index edge = state.range(0);
-  core::Problem problem(Coord{edge, edge, edge}, stencil);
+  core::Problem problem(Coord{edge, edge, edge}, make_stencil(order, banded));
   problem.initialize();
   core::Executor exec(problem, {}, policy);
   core::Box domain;
@@ -54,58 +67,36 @@ void run_sweep(benchmark::State& state, const core::StencilSpec& stencil,
                          benchmark::Counter::kIsRate);
 }
 
-using core::KernelPolicy;
-
-void BM_Const7p_Scalar(benchmark::State& state) {
-  run_sweep(state, core::StencilSpec::paper_3d7p(), KernelPolicy::Scalar);
-}
-void BM_Const7p_SSE2(benchmark::State& state) {
-  run_sweep(state, core::StencilSpec::paper_3d7p(), KernelPolicy::SSE2);
-}
-void BM_Const7p_AVX2(benchmark::State& state) {
-  run_sweep(state, core::StencilSpec::paper_3d7p(), KernelPolicy::AVX2);
-}
-void BM_Const7p_FMA(benchmark::State& state) {
-  run_sweep(state, core::StencilSpec::paper_3d7p(), KernelPolicy::FMA);
-}
-void BM_Const7p_GenericSimd(benchmark::State& state) {
-  run_sweep(state, core::StencilSpec::paper_3d7p(), KernelPolicy::GenericSimd);
-}
-void BM_Const7p_Auto(benchmark::State& state) {
-  run_sweep(state, core::StencilSpec::paper_3d7p(), KernelPolicy::Auto);
-}
-void BM_Banded7_Auto(benchmark::State& state) {
-  run_sweep(state, core::StencilSpec::banded_star(3, 1), KernelPolicy::Auto);
-}
-void BM_Banded7_GenericSimd(benchmark::State& state) {
-  run_sweep(state, core::StencilSpec::banded_star(3, 1), KernelPolicy::GenericSimd);
-}
-void BM_Order2_Auto(benchmark::State& state) {
-  run_sweep(state, core::StencilSpec::stable_star(3, 2), KernelPolicy::Auto);
-}
-void BM_Order2_GenericSimd(benchmark::State& state) {
-  run_sweep(state, core::StencilSpec::stable_star(3, 2), KernelPolicy::GenericSimd);
-}
-void BM_Order3_Auto(benchmark::State& state) {
-  run_sweep(state, core::StencilSpec::stable_star(3, 3), KernelPolicy::Auto);
-}
-void BM_Order3_GenericSimd(benchmark::State& state) {
-  run_sweep(state, core::StencilSpec::stable_star(3, 3), KernelPolicy::GenericSimd);
+void register_matrix() {
+  const std::vector<std::pair<KernelPolicy, const char*>> policies = {
+      {KernelPolicy::Scalar, "Scalar"},   {KernelPolicy::SSE2, "SSE2"},
+      {KernelPolicy::AVX2, "AVX2"},       {KernelPolicy::FMA, "FMA"},
+      {KernelPolicy::GenericSimd, "GenericSimd"}, {KernelPolicy::Auto, "Auto"}};
+  for (const int order : {1, 2, 3}) {
+    for (const bool banded : {false, true}) {
+      const std::string combo = std::to_string(6 * order + 1) + "pt_" +
+                                (banded ? "banded" : "const");
+      for (const auto& [policy, policy_name] : policies) {
+        const std::string name = "BM_" + combo + "/" + policy_name;
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [order, banded, policy](benchmark::State& state) {
+              run_sweep(state, order, banded, policy);
+            })
+            ->Arg(32)
+            ->Arg(64);
+      }
+    }
+  }
 }
 
 }  // namespace
 
-BENCHMARK(BM_Const7p_Scalar)->Arg(32)->Arg(64);
-BENCHMARK(BM_Const7p_SSE2)->Arg(32)->Arg(64);
-BENCHMARK(BM_Const7p_AVX2)->Arg(32)->Arg(64);
-BENCHMARK(BM_Const7p_FMA)->Arg(32)->Arg(64);
-BENCHMARK(BM_Const7p_GenericSimd)->Arg(32)->Arg(64);
-BENCHMARK(BM_Const7p_Auto)->Arg(32)->Arg(64);
-BENCHMARK(BM_Banded7_Auto)->Arg(32)->Arg(64);
-BENCHMARK(BM_Banded7_GenericSimd)->Arg(32)->Arg(64);
-BENCHMARK(BM_Order2_Auto)->Arg(32);
-BENCHMARK(BM_Order2_GenericSimd)->Arg(32);
-BENCHMARK(BM_Order3_Auto)->Arg(32);
-BENCHMARK(BM_Order3_GenericSimd)->Arg(32);
-
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_matrix();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

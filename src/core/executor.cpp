@@ -30,7 +30,8 @@ struct Executor::RowPlan {
   std::array<Index, kMaxTaps> base{};  ///< per-tap src row base, x-offset folded
 };
 
-Executor::Executor(Problem& problem, Instrumentation instr, KernelPolicy policy)
+Executor::Executor(Problem& problem, Instrumentation instr, KernelPolicy policy,
+                   StorePolicy stores)
     : problem_(&problem), instr_(instr) {
   const Coord& shape = problem.shape();
   const StencilSpec& st = problem.stencil();
@@ -38,9 +39,21 @@ Executor::Executor(Problem& problem, Instrumentation instr, KernelPolicy policy)
   nx_ = shape[0];
   ny_ = shape.rank() >= 2 ? shape[1] : 1;
   nz_ = shape.rank() >= 3 ? shape[2] : 1;
-  sy_ = nx_;
-  sz_ = nx_ * ny_;
-  kernel_ = select_kernel(policy, st.npoints(), st.banded());
+  // Storage strides, not logical ones: under FieldPad::Rows64 a row
+  // occupies xstride >= nx elements (identical for dense layouts).
+  const Field& f0 = problem.buffer(0);
+  xstride_ = f0.xstride();
+  sy_ = shape.rank() >= 2 ? f0.strides()[1] : xstride_;
+  sz_ = shape.rank() >= 3 ? f0.strides()[2] : sy_ * ny_;
+  KernelRequest req;
+  req.ntaps = st.npoints();
+  req.banded = st.banded();
+  req.rank = shape.rank();
+  req.order = st.order();
+  req.rows_aligned = problem.rows_aligned();
+  req.stores = stores;
+  req.bytes_touched = problem.sweep_bytes();
+  kernel_ = select_kernel(policy, req);
   if (st.banded())
     for (int p = 0; p < st.npoints(); ++p)
       band_ptrs_[static_cast<std::size_t>(p)] = problem.band(p).data();
@@ -81,6 +94,9 @@ Index Executor::update_box(const Box& box, long t, int tid) {
   ka.coeffs = st.coeffs().data();
   ka.bands = band_ptrs_.data();
   ka.ntaps = ntaps;
+  // Row storage capacity: lets the rotated v2 kernels read the centre
+  // row ahead of x1 (v1 kernels ignore it).
+  ka.xcap = xstride_;
 
   RowPlan plan;
   plan.x0v = lo0;

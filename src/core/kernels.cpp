@@ -2,13 +2,27 @@
 // and the one-time dispatch that replaces the old per-row branch chains.
 #include "core/kernels.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "common/error.hpp"
 #include "core/kernels_detail.hpp"
 #include "core/kernels_impl.hpp"
 
 namespace {
+
+std::string lowercase(const std::string& name) {
+  std::string lower(name.size(), '\0');
+  std::transform(name.begin(), name.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return lower;
+}
 
 struct VecScalar {
   using reg = double;
@@ -25,12 +39,16 @@ struct VecScalar {
 namespace nustencil::core {
 
 KernelPolicy parse_kernel_policy(const std::string& name) {
-  if (name == "auto") return KernelPolicy::Auto;
-  if (name == "scalar") return KernelPolicy::Scalar;
-  if (name == "sse2") return KernelPolicy::SSE2;
-  if (name == "avx2") return KernelPolicy::AVX2;
-  if (name == "fma") return KernelPolicy::FMA;
-  if (name == "generic") return KernelPolicy::GenericSimd;
+  // Case-insensitive, like scheme names: --kernel=AVX2 and --kernel=avx2
+  // are the same request; the canonical lowercase spellings stay in
+  // to_string().
+  const std::string lower = lowercase(name);
+  if (lower == "auto") return KernelPolicy::Auto;
+  if (lower == "scalar") return KernelPolicy::Scalar;
+  if (lower == "sse2") return KernelPolicy::SSE2;
+  if (lower == "avx2") return KernelPolicy::AVX2;
+  if (lower == "fma") return KernelPolicy::FMA;
+  if (lower == "generic") return KernelPolicy::GenericSimd;
   throw Error("unknown kernel policy '" + name +
               "' (expected auto, scalar, sse2, avx2, fma or generic)");
 }
@@ -45,6 +63,38 @@ std::string to_string(KernelPolicy policy) {
     case KernelPolicy::GenericSimd: return "generic";
   }
   return "?";
+}
+
+StorePolicy parse_store_policy(const std::string& name) {
+  const std::string lower = lowercase(name);
+  if (lower == "auto") return StorePolicy::Auto;
+  if (lower == "stream") return StorePolicy::Stream;
+  if (lower == "regular") return StorePolicy::Regular;
+  throw Error("unknown store policy '" + name +
+              "' (expected auto, stream or regular)");
+}
+
+std::string to_string(StorePolicy policy) {
+  switch (policy) {
+    case StorePolicy::Auto: return "auto";
+    case StorePolicy::Stream: return "stream";
+    case StorePolicy::Regular: return "regular";
+  }
+  return "?";
+}
+
+Index stream_auto_threshold_bytes() {
+  static const Index threshold = [] {
+    Index llc = 0;
+#if defined(_SC_LEVEL3_CACHE_SIZE)
+    if (llc <= 0) llc = static_cast<Index>(sysconf(_SC_LEVEL3_CACHE_SIZE));
+#endif
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+    if (llc <= 0) llc = static_cast<Index>(sysconf(_SC_LEVEL2_CACHE_SIZE));
+#endif
+    return llc > 0 ? llc : Index(16) << 20;
+  }();
+  return threshold;
 }
 
 std::string to_string(KernelIsa isa) {
@@ -77,6 +127,8 @@ std::string KernelChoice::name() const {
   if (fma) os << "+fma";
   if (variant == KernelVariant::Generic) os << "+generic";
   if (variant == KernelVariant::Legacy) os << "+legacy";
+  if (rotated) os << "+rot";
+  if (stream) os << "+nt";
   os << '/' << ntaps << "pt/" << (banded ? "banded" : "const");
   return os.str();
 }
@@ -189,6 +241,24 @@ Resolution resolve_policy(KernelPolicy policy) {
   return r;
 }
 
+/// The v2 rotated kernels exist for the canonical rank-3 stars whose
+/// unit-stride taps are offsets -order..-1, +1..+order (stencil.hpp tap
+/// order): 3D orders 1..3, i.e. the 7/13/19-point specializations.
+bool rotation_eligible(const Resolution& r, const KernelRequest& q) {
+  return r.isa == KernelIsa::AVX2 && r.variant == KernelVariant::Specialized &&
+         q.rank == 3 && q.order >= 1 && q.order <= 3 &&
+         q.ntaps == 6 * q.order + 1;
+}
+
+/// Streaming needs the rotated kernels (their aligned store path) plus an
+/// aligned layout; Auto additionally wants an LLC-busting working set —
+/// streaming a cache-resident sweep would only evict the write field.
+bool stream_wanted(const KernelRequest& q) {
+  if (!q.rows_aligned || q.stores == StorePolicy::Regular) return false;
+  return q.stores == StorePolicy::Stream ||
+         q.bytes_touched >= stream_auto_threshold_bytes();
+}
+
 }  // namespace
 
 KernelChoice select_kernel(KernelPolicy policy, int ntaps, bool banded) {
@@ -196,10 +266,43 @@ KernelChoice select_kernel(KernelPolicy policy, int ntaps, bool banded) {
   return select_kernel_isa(r.isa, r.fma, ntaps, banded, r.variant);
 }
 
+KernelChoice select_kernel(KernelPolicy policy, const KernelRequest& request) {
+  const Resolution r = resolve_policy(policy);
+  if (rotation_eligible(r, request)) {
+    const bool stream = stream_wanted(request);
+    const KernelFn fn =
+        detail::avx2_kernel_v2(request.order, request.banded, stream, r.fma);
+    if (fn) {
+      KernelChoice choice;
+      choice.fn = fn;
+      choice.isa = KernelIsa::AVX2;
+      choice.variant = KernelVariant::Specialized;
+      choice.fma = r.fma;
+      choice.banded = request.banded;
+      choice.rotated = true;
+      choice.stream = stream;
+      choice.ntaps = request.ntaps;
+      return choice;
+    }
+  }
+  return select_kernel_isa(r.isa, r.fma, request.ntaps, request.banded,
+                           r.variant);
+}
+
 std::string explain_kernel_choice(KernelPolicy policy, int ntaps, bool banded) {
+  KernelRequest request;
+  request.ntaps = ntaps;
+  request.banded = banded;
+  return explain_kernel_choice(policy, request);
+}
+
+std::string explain_kernel_choice(KernelPolicy policy,
+                                  const KernelRequest& request) {
+  const int ntaps = request.ntaps;
+  const bool banded = request.banded;
   const CpuFeatures& cpu = CpuFeatures::host();
   const Resolution r = resolve_policy(policy);
-  const KernelChoice choice = select_kernel(policy, ntaps, banded);
+  const KernelChoice choice = select_kernel(policy, request);
   auto yn = [](bool b) { return b ? "yes" : "no"; };
 
   std::ostringstream os;
@@ -231,6 +334,25 @@ std::string explain_kernel_choice(KernelPolicy policy, int ntaps, bool banded) {
           "baseline";
   else
     os << "policy forced";
+  os << '\n'
+     << "  row loads               : "
+     << (choice.rotated
+             ? "in-register rotation (one aligned load per cache line)"
+             : "per-tap vector loads")
+     << '\n'
+     << "  write-field stores      : " << to_string(request.stores) << " -> "
+     << (choice.stream ? "streaming (non-temporal)" : "regular");
+  if (!choice.stream) {
+    if (request.stores == StorePolicy::Regular)
+      os << " (forced)";
+    else if (!request.rows_aligned)
+      os << " (rows not 64B-aligned)";
+    else if (!choice.rotated)
+      os << " (no rotated kernel for this stencil/policy)";
+    else
+      os << " (sweep " << request.bytes_touched << " B < LLC threshold "
+         << stream_auto_threshold_bytes() << " B)";
+  }
   os << '\n'
      << "  bit-exact vs scalar     : " << yn(!choice.fma)
      << (choice.fma ? " (FMA contracts mul+add; use for wall-clock runs only)"

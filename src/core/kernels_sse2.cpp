@@ -1,15 +1,36 @@
-// SSE2 kernel flavours.  Compiled with -msse2 (baseline on x86-64) and
-// -ffp-contract=off; on targets without SSE2 the factory compiles to a
+// SSE2 kernel flavours.  Like kernels_avx2.cpp, the vector code sits in
+// a `#pragma GCC target("sse2")` region instead of a per-file -msse2 flag
+// (a no-op on x86-64 where SSE2 is baseline, but it keeps the i386 build
+// honest); -ffp-contract=off comes from the TU's compile options.  On
+// targets without a GNU-flavoured x86 compiler the factory compiles to a
 // stub and the dispatcher never offers this ISA.
 #include "core/kernels_detail.hpp"
 
-#if defined(__SSE2__)
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
 
+// Shared headers before the pragma so their inline definitions keep
+// baseline codegen (see kernels_avx2.cpp).
 #include <emmintrin.h>
+
+#include <utility>
+
+#include "core/kernels.hpp"
+
+#if defined(__clang__)
+#pragma clang attribute push(__attribute__((target("sse2"))), \
+                             apply_to = function)
+#else
+#pragma GCC push_options
+#pragma GCC target("sse2")
+#endif
 
 #include "core/kernels_impl.hpp"
 
 namespace {
+
+using nustencil::core::KernelFn;
+using nustencil::core::KernelVariant;
 
 struct VecSse2 {
   using reg = __m128d;
@@ -23,19 +44,32 @@ struct VecSse2 {
   }
 };
 
+// In-region wrapper so every template instantiation happens inside the
+// target region.
+KernelFn pick_sse2(int ntaps, bool banded, KernelVariant variant) {
+  return nustencil::core::kernel_impl::pick_kernel<VecSse2>(ntaps, banded,
+                                                            variant);
+}
+
 }  // namespace
+
+#if defined(__clang__)
+#pragma clang attribute pop
+#else
+#pragma GCC pop_options
+#endif
 
 namespace nustencil::core::detail {
 
 KernelFn sse2_kernel(int ntaps, bool banded, KernelVariant variant) {
-  return kernel_impl::pick_kernel<VecSse2>(ntaps, banded, variant);
+  return pick_sse2(ntaps, banded, variant);
 }
 
 bool sse2_compiled() { return true; }
 
 }  // namespace nustencil::core::detail
 
-#else  // !__SSE2__
+#else  // not x86 with a GNU-flavoured compiler
 
 namespace nustencil::core::detail {
 

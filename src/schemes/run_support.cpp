@@ -34,7 +34,17 @@ RunSupport::RunSupport(core::Problem& problem, const RunConfig& config)
       recorder_->set_sample_window(window);
     }
   }
-  if (config.check_dependencies) checker_.emplace(problem.volume());
+  if (config.check_dependencies) {
+    // The executors commit *storage* indices, so the shadow grid covers
+    // the storage layout; padding cells (padded layouts only) are never
+    // updated and are frozen so check_all_at ignores them.
+    checker_.emplace(problem.storage_volume());
+    const Index xs = problem.buffer(0).xstride();
+    const Index nx = problem.shape()[0];
+    if (xs != nx)
+      for (Index row = 0; row < problem.storage_volume(); row += xs)
+        for (Index x = nx; x < xs; ++x) checker_->freeze(row + x);
+  }
 
   if (config.trace) {
     trace_ = config.trace;
@@ -54,7 +64,8 @@ RunSupport::RunSupport(core::Problem& problem, const RunConfig& config)
   const core::KernelPolicy policy =
       config.use_simd ? config.kernel : core::KernelPolicy::Scalar;
   for (int tid = 0; tid < config.num_threads; ++tid) {
-    executors_.push_back(std::make_unique<core::Executor>(problem, instr, policy));
+    executors_.push_back(std::make_unique<core::Executor>(
+        problem, instr, policy, config.kernel_stores));
     executors_.back()->set_trace(recorder(tid));
   }
 
@@ -118,17 +129,19 @@ void RunSupport::finalize_boundary() {
   if (bc.all_periodic(rank)) return;
 
   const core::Box interior = core::updatable_box(shape, problem_->stencil(), bc);
-  const Coord strides = strides_for(shape);
+  const Coord& strides = problem_->buffer(0).strides();
   double* u0 = problem_->buffer(0).data();
   double* u1 = problem_->buffer(1).data();
 
   Coord pos = Coord::filled(rank, 0);
   const Index volume = problem_->volume();
-  for (Index i = 0; i < volume; ++i) {
+  for (Index c = 0; c < volume; ++c) {
     bool inside = true;
     for (int d = 0; d < rank; ++d)
       inside = inside && pos[d] >= interior.lo[d] && pos[d] < interior.hi[d];
     if (!inside) {
+      // Storage index of the logical cell (== c for dense layouts).
+      const Index i = linear_index(pos, strides);
       u1[i] = u0[i];
       if (checker_) checker_->freeze(i);
     }
@@ -137,7 +150,6 @@ void RunSupport::finalize_boundary() {
       if (++pos[d] < shape[d]) break;
       pos[d] = 0;
     }
-    (void)strides;
   }
 }
 

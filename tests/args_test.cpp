@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/args.hpp"
+#include "core/kernels.hpp"
 
 namespace nustencil {
 namespace {
@@ -168,6 +169,71 @@ TEST(ArgParser, MalformedNumberForSecondsOptionThrows) {
   p.add_option("progress", "heartbeat seconds", "");
   ASSERT_TRUE(parse(p, {"--progress", "2s"}));
   EXPECT_THROW(p.get_double("progress"), Error);
+}
+
+/// Mirrors the CLI's kernel-engine options exactly: string option, then
+/// core::parse_* on the value, like tools/nustencil_cli.cpp does.
+ArgParser make_kernel_parser() {
+  ArgParser p("prog", "x");
+  p.add_option("kernel", "kernel policy", "auto");
+  p.add_option("kernel-stores", "store policy", "auto");
+  return p;
+}
+
+TEST(ArgParser, KernelPolicyOptionIsCaseInsensitive) {
+  for (const char* spelling : {"avx2", "AVX2", "Avx2", "aVx2"}) {
+    ArgParser p = make_kernel_parser();
+    ASSERT_TRUE(parse(p, {"--kernel", spelling}));
+    EXPECT_EQ(core::parse_kernel_policy(p.get("kernel")),
+              core::KernelPolicy::AVX2)
+        << spelling;
+  }
+  ArgParser p = make_kernel_parser();
+  ASSERT_TRUE(parse(p, {"--kernel=FMA", "--kernel-stores=REGULAR"}));
+  EXPECT_EQ(core::parse_kernel_policy(p.get("kernel")),
+            core::KernelPolicy::FMA);
+  EXPECT_EQ(core::parse_store_policy(p.get("kernel-stores")),
+            core::StorePolicy::Regular);
+}
+
+TEST(ArgParser, KernelStoresOptionIsCaseInsensitive) {
+  for (const char* spelling : {"stream", "Stream", "STREAM", "sTrEaM"}) {
+    ArgParser p = make_kernel_parser();
+    ASSERT_TRUE(parse(p, {"--kernel-stores", spelling}));
+    EXPECT_EQ(core::parse_store_policy(p.get("kernel-stores")),
+              core::StorePolicy::Stream)
+        << spelling;
+  }
+}
+
+TEST(ArgParser, BadKernelPolicyListsValidValues) {
+  ArgParser p = make_kernel_parser();
+  ASSERT_TRUE(parse(p, {"--kernel", "avx512"}));
+  try {
+    core::parse_kernel_policy(p.get("kernel"));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    // Echoes the offending value and lists every accepted one.
+    EXPECT_NE(what.find("avx512"), std::string::npos);
+    for (const char* valid :
+         {"auto", "scalar", "sse2", "avx2", "fma", "generic"})
+      EXPECT_NE(what.find(valid), std::string::npos) << valid;
+  }
+}
+
+TEST(ArgParser, BadKernelStoresListsValidValues) {
+  ArgParser p = make_kernel_parser();
+  ASSERT_TRUE(parse(p, {"--kernel-stores", "nontemporal"}));
+  try {
+    core::parse_store_policy(p.get("kernel-stores"));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nontemporal"), std::string::npos);
+    for (const char* valid : {"auto", "stream", "regular"})
+      EXPECT_NE(what.find(valid), std::string::npos) << valid;
+  }
 }
 
 }  // namespace

@@ -35,15 +35,28 @@ std::vector<KernelPolicy> host_policies() {
   return ps;
 }
 
+/// Runs `steps` full-domain sweeps and returns the *logical* cells of the
+/// final buffer in dense order, so padded and dense runs compare 1:1.
+/// `chosen` (optional) receives the executor's kernel choice.
 std::vector<double> run_with_policy(const Coord& shape, const StencilSpec& st,
                                     KernelPolicy policy, long steps,
-                                    unsigned seed) {
-  Problem p(shape, st);
+                                    unsigned seed,
+                                    FieldPad pad = FieldPad::None,
+                                    StorePolicy stores = StorePolicy::Auto,
+                                    KernelChoice* chosen = nullptr) {
+  Problem p(shape, st, pad);
   p.initialize(seed);
-  Executor e(p, {}, policy);
+  Executor e(p, {}, policy, stores);
+  if (chosen) *chosen = e.kernel();
   for (long t = 0; t < steps; ++t) e.update_box(whole(shape), t, 0);
-  const double* d = p.buffer(steps).data();
-  return std::vector<double>(d, d + p.volume());
+  const Field& f = p.buffer(steps);
+  const Index xs = f.xstride();
+  const Index rows = f.storage_volume() / xs;
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(p.volume()));
+  for (Index r = 0; r < rows; ++r)
+    for (Index x = 0; x < shape[0]; ++x) out.push_back(f.data()[r * xs + x]);
+  return out;
 }
 
 bool bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
@@ -227,6 +240,203 @@ TEST(KernelDispatch, ExecutorReportsItsKernel) {
   EXPECT_EQ(e.kernel().isa, KernelIsa::Scalar);
   EXPECT_TRUE(e.kernel().specialized());
   EXPECT_EQ(e.kernel().ntaps, 7);
+}
+
+TEST(KernelDispatch, PolicyNamesAreCaseInsensitive) {
+  EXPECT_EQ(parse_kernel_policy("AVX2"), KernelPolicy::AVX2);
+  EXPECT_EQ(parse_kernel_policy("Fma"), KernelPolicy::FMA);
+  EXPECT_EQ(parse_kernel_policy("SCALAR"), KernelPolicy::Scalar);
+  EXPECT_EQ(parse_store_policy("Stream"), StorePolicy::Stream);
+  EXPECT_EQ(parse_store_policy("REGULAR"), StorePolicy::Regular);
+}
+
+TEST(KernelDispatch, StorePolicyParsingRoundTrips) {
+  for (StorePolicy s :
+       {StorePolicy::Auto, StorePolicy::Stream, StorePolicy::Regular})
+    EXPECT_EQ(parse_store_policy(to_string(s)), s);
+  EXPECT_THROW(parse_store_policy("nontemporal"), Error);
+  EXPECT_THROW(parse_store_policy(""), Error);
+}
+
+TEST(KernelDispatch, FieldPaddingInvariants) {
+  // Rows64 pads the unit-stride extent to a multiple of 8 doubles and
+  // keeps every row base on a 64-byte boundary.
+  const Field padded(Coord{37, 5, 3}, FieldPad::Rows64);
+  EXPECT_EQ(padded.xstride(), 40);
+  EXPECT_EQ(padded.storage_volume(), 40 * 5 * 3);
+  EXPECT_EQ(padded.volume(), 37 * 5 * 3);
+  EXPECT_EQ(padded.strides()[1], 40);
+  EXPECT_EQ(padded.strides()[2], 40 * 5);
+  EXPECT_TRUE(padded.rows_aligned());
+  // The dense layout is byte-for-byte the historical one: xstride == nx,
+  // and rows are aligned exactly when nx is a multiple of 8.
+  const Field dense(Coord{37, 5, 3});
+  EXPECT_EQ(dense.xstride(), 37);
+  EXPECT_EQ(dense.storage_volume(), dense.volume());
+  EXPECT_FALSE(dense.rows_aligned());
+  EXPECT_TRUE(Field(Coord{64, 4, 4}).rows_aligned());
+  // Already-aligned extents gain no padding.
+  EXPECT_EQ(Field(Coord{64, 4, 4}, FieldPad::Rows64).xstride(), 64);
+}
+
+TEST(KernelDispatch, PaddedProblemInitMatchesDense) {
+  // fill_row keys values on the logical cell id, so a padded problem
+  // starts from the exact per-cell data of its dense twin, with zeroed
+  // padding columns.
+  const Coord shape{13, 4, 3};
+  Problem dense(shape, StencilSpec::banded_star(3, 1));
+  Problem padded(shape, StencilSpec::banded_star(3, 1), FieldPad::Rows64);
+  dense.initialize(7);
+  padded.initialize(7);
+  const Index xs = padded.buffer(0).xstride();
+  for (Index r = 0; r < shape[1] * shape[2]; ++r) {
+    for (Index x = 0; x < xs; ++x) {
+      const double got = padded.buffer(0).data()[r * xs + x];
+      if (x < shape[0]) {
+        EXPECT_EQ(got, dense.buffer(0).data()[r * shape[0] + x]);
+        for (int p = 0; p < 7; ++p)
+          EXPECT_EQ(padded.band(p).data()[r * xs + x],
+                    dense.band(p).data()[r * shape[0] + x]);
+      } else {
+        EXPECT_EQ(got, 0.0);
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, RotatedKernelEngagesAndIsBitExact) {
+  if (!kernel_isa_supported(KernelIsa::AVX2))
+    GTEST_SKIP() << "host has no AVX2";
+  // Prime x extents: every vector width/peel/tail path of the rotated
+  // kernels runs.  All three canonical rank-3 stars must rotate.
+  struct Case {
+    Coord shape;
+    int order;
+  };
+  for (const Case& c : std::vector<Case>{
+           {Coord{31, 5, 4}, 1}, {Coord{37, 6, 5}, 2}, {Coord{41, 7, 7}, 3}}) {
+    for (const bool banded : {false, true}) {
+      const StencilSpec st = banded
+                                 ? StencilSpec::banded_star(3, c.order)
+                                 : StencilSpec::stable_star(3, c.order);
+      const std::vector<double> ref =
+          run_with_policy(c.shape, st, KernelPolicy::Scalar, 3, 42);
+      KernelChoice chosen;
+      const std::vector<double> got =
+          run_with_policy(c.shape, st, KernelPolicy::AVX2, 3, 42,
+                          FieldPad::None, StorePolicy::Auto, &chosen);
+      EXPECT_TRUE(chosen.rotated)
+          << "order=" << c.order << " banded=" << banded
+          << " kernel=" << chosen.name();
+      EXPECT_TRUE(bitwise_equal(ref, got))
+          << "order=" << c.order << " banded=" << banded;
+    }
+  }
+  // Non-rank-3 stencils have no rotated kernel.
+  KernelChoice flat;
+  run_with_policy(Coord{24, 9}, StencilSpec::stable_star(2, 1),
+                  KernelPolicy::AVX2, 1, 42, FieldPad::None, StorePolicy::Auto,
+                  &flat);
+  EXPECT_FALSE(flat.rotated);
+}
+
+TEST(KernelDispatch, StreamingStoresBitExactOnPaddedLayout) {
+  if (!kernel_isa_supported(KernelIsa::AVX2))
+    GTEST_SKIP() << "host has no AVX2";
+  // Forced streaming on a padded (aligned) layout of a prime-sized
+  // domain: must engage, and stay bitwise identical to the dense scalar
+  // run.
+  const Coord shape{29, 6, 5};
+  for (const bool banded : {false, true}) {
+    const StencilSpec st =
+        banded ? StencilSpec::banded_star(3, 1) : StencilSpec::stable_star(3, 1);
+    const std::vector<double> ref =
+        run_with_policy(shape, st, KernelPolicy::Scalar, 3, 11);
+    KernelChoice chosen;
+    const std::vector<double> got =
+        run_with_policy(shape, st, KernelPolicy::Auto, 3, 11, FieldPad::Rows64,
+                        StorePolicy::Stream, &chosen);
+    EXPECT_TRUE(chosen.stream) << chosen.name();
+    EXPECT_TRUE(chosen.rotated) << chosen.name();
+    EXPECT_TRUE(bitwise_equal(ref, got)) << "banded=" << banded;
+  }
+}
+
+TEST(KernelDispatch, StreamingFallsBackOnUnalignedRows) {
+  if (!kernel_isa_supported(KernelIsa::AVX2))
+    GTEST_SKIP() << "host has no AVX2";
+  // Dense rows of a non-multiple-of-8 extent are not 64B-aligned, so a
+  // forced Stream request degrades to regular stores (and says so in the
+  // kernel name), while an aligned dense extent honours it.
+  KernelChoice unaligned;
+  run_with_policy(Coord{29, 6, 5}, StencilSpec::stable_star(3, 1),
+                  KernelPolicy::Auto, 1, 11, FieldPad::None,
+                  StorePolicy::Stream, &unaligned);
+  EXPECT_FALSE(unaligned.stream) << unaligned.name();
+  KernelChoice aligned;
+  run_with_policy(Coord{32, 6, 5}, StencilSpec::stable_star(3, 1),
+                  KernelPolicy::Auto, 1, 11, FieldPad::None,
+                  StorePolicy::Stream, &aligned);
+  EXPECT_TRUE(aligned.stream) << aligned.name();
+  EXPECT_NE(aligned.name().find("+nt"), std::string::npos);
+}
+
+TEST(KernelDispatch, AutoStoresUseLlcThreshold) {
+  if (!kernel_isa_supported(KernelIsa::AVX2))
+    GTEST_SKIP() << "host has no AVX2";
+  KernelRequest req;
+  req.ntaps = 7;
+  req.banded = false;
+  req.rank = 3;
+  req.order = 1;
+  req.rows_aligned = true;
+  req.stores = StorePolicy::Auto;
+  req.bytes_touched = stream_auto_threshold_bytes();
+  EXPECT_TRUE(select_kernel(KernelPolicy::Auto, req).stream);
+  req.bytes_touched = stream_auto_threshold_bytes() - 1;
+  EXPECT_FALSE(select_kernel(KernelPolicy::Auto, req).stream);
+  // Regular always wins; Stream needs the aligned layout.
+  req.bytes_touched = stream_auto_threshold_bytes();
+  req.stores = StorePolicy::Regular;
+  EXPECT_FALSE(select_kernel(KernelPolicy::Auto, req).stream);
+  req.stores = StorePolicy::Stream;
+  req.rows_aligned = false;
+  EXPECT_FALSE(select_kernel(KernelPolicy::Auto, req).stream);
+}
+
+TEST(KernelDispatch, MidVectorTileStartMatchesScalar) {
+  if (!kernel_isa_supported(KernelIsa::AVX2))
+    GTEST_SKIP() << "host has no AVX2";
+  // A tile whose x range starts mid-vector forces the rotated kernel's
+  // scalar peel and (near the row end) its per-tap fallback loop; the
+  // result must still be bitwise identical to the scalar executor on the
+  // same sub-box.  Streaming is forced so the aligned-store discipline
+  // is exercised with an unaligned x0 too.
+  const Coord shape{33, 6, 5};
+  const StencilSpec st = StencilSpec::stable_star(3, 1);
+  for (const auto& [x0, x1] : std::vector<std::pair<Index, Index>>{
+           {1, 29}, {5, 23}, {6, 33}, {2, 7}}) {
+    Box tile;
+    tile.lo = Coord{x0, 1, 1};
+    tile.hi = Coord{x1, 5, 4};
+    Problem ps(shape, st);
+    ps.initialize(3);
+    Executor es(ps, {}, KernelPolicy::Scalar);
+    es.update_box(tile, 0, 0);
+    Problem pv(shape, st, FieldPad::Rows64);
+    pv.initialize(3);
+    Executor ev(pv, {}, KernelPolicy::Auto, StorePolicy::Stream);
+    ASSERT_TRUE(ev.kernel().rotated && ev.kernel().stream);
+    ev.update_box(tile, 0, 0);
+    const Index xs = pv.buffer(1).xstride();
+    bool equal = true;
+    for (Index r = 0; r < shape[1] * shape[2] && equal; ++r)
+      for (Index x = 0; x < shape[0] && equal; ++x)
+        equal = std::memcmp(&ps.buffer(1).data()[r * shape[0] + x],
+                            &pv.buffer(1).data()[r * xs + x],
+                            sizeof(double)) == 0;
+    EXPECT_TRUE(equal) << "x0=" << x0 << " x1=" << x1;
+  }
 }
 
 }  // namespace
