@@ -28,6 +28,7 @@
 
 #include "common/args.hpp"
 #include "common/error.hpp"
+#include "common/provenance.hpp"
 #include "metrics/json.hpp"
 #include "perf/model.hpp"
 #include "schemes/scheme.hpp"
@@ -37,7 +38,13 @@ namespace {
 
 using namespace nustencil;
 
-constexpr int kRegressSchemaVersion = 1;
+// v2 adds the "provenance" block (git SHA, compiler, build type, machine
+// conf) so a failing gate can print what actually changed between the
+// baseline build and the candidate.  v1 baselines are still accepted —
+// they just have no provenance to diff.
+constexpr int kRegressSchemaVersion = 2;
+
+const char* kMachineConf = "xeon-x7550";
 
 const std::vector<std::string>& regress_schemes() {
   static const std::vector<std::string> schemes = {"NaiveSSE", "CATS", "nuCATS",
@@ -125,7 +132,14 @@ void write_cases(const std::vector<Case>& cases, const std::string& path) {
   w.kv("generator", "bench/regress");
   w.kv("threads", kThreads);
   w.kv("timesteps", static_cast<std::int64_t>(kSteps));
-  w.kv("machine", "xeon-x7550");
+  w.kv("machine", kMachineConf);
+  const BuildInfo& build = build_info();
+  w.key("provenance").begin_object();
+  w.kv("git_sha", build.git_sha);
+  w.kv("compiler", build.compiler);
+  w.kv("build_type", build.build_type);
+  w.kv("machine_conf", kMachineConf);
+  w.end_object();
   w.key("cases").begin_array();
   for (const Case& c : cases) {
     w.begin_object();
@@ -149,6 +163,33 @@ void write_cases(const std::vector<Case>& cases, const std::string& path) {
 bool close_rel(double a, double b, double eps) {
   const double scale = std::max({std::fabs(a), std::fabs(b), 1e-300});
   return std::fabs(a - b) <= eps * scale;
+}
+
+/// How the baseline's build provenance differs from this binary, one
+/// line per differing field — a gated-field mismatch plus a compiler or
+/// commit delta usually explains itself from the CI log alone.
+std::string provenance_delta(const metrics::JsonValue& base) {
+  const metrics::JsonValue* prov = base.find("provenance");
+  if (!prov)
+    return "  baseline predates provenance (schema v1): rebuild it to "
+           "record git SHA / compiler / machine conf\n";
+  const BuildInfo& build = build_info();
+  std::ostringstream os;
+  const auto field = [&](const char* key, const std::string& candidate) {
+    const metrics::JsonValue* v = prov->find(key);
+    const std::string baseline = v ? v->str() : "<absent>";
+    if (baseline != candidate)
+      os << "  provenance " << key << ": baseline '" << baseline
+         << "' vs candidate '" << candidate << "'\n";
+  };
+  field("git_sha", build.git_sha);
+  field("compiler", build.compiler);
+  field("build_type", build.build_type);
+  field("machine_conf", kMachineConf);
+  if (os.str().empty())
+    return "  provenance identical: same commit, compiler, build type and "
+           "machine conf\n";
+  return os.str();
 }
 
 const metrics::JsonValue* find_case(const metrics::JsonValue& doc,
@@ -176,8 +217,8 @@ int compare(const std::vector<Case>& fresh, const metrics::JsonValue& base,
   // ("field: expected <baseline> actual <fresh>") so a CI log alone
   // identifies what moved without re-running the gate locally.
   const int base_version = static_cast<int>(base.at("schema_version").num());
-  if (base_version != kRegressSchemaVersion) {
-    std::cerr << "REGRESSION schema_version: expected "
+  if (base_version < 1 || base_version > kRegressSchemaVersion) {
+    std::cerr << "REGRESSION schema_version: expected 1.."
               << kRegressSchemaVersion << " actual " << base_version << '\n';
     return 1;
   }
@@ -218,6 +259,9 @@ int compare(const std::vector<Case>& fresh, const metrics::JsonValue& base,
                   std::to_string(base_s) + ") actual " +
                   std::to_string(c.seconds));
   }
+  if (failures > 0)
+    std::cerr << "provenance delta (baseline vs candidate):\n"
+              << provenance_delta(base);
   return failures;
 }
 

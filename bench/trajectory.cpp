@@ -1,0 +1,81 @@
+// bench/trajectory — the performance-trajectory database front end:
+// folds a fresh bench/regress output (and optionally a kernel_report)
+// into a candidate entry, gates it against the trailing window of the
+// committed history with the noise-aware rule from metrics/trajectory,
+// and appends it so the next run has one more point of history.
+//
+//   trajectory --regress=fresh.json --gate                # gate only
+//   trajectory --regress=fresh.json --kernel=bench_kernels.json \
+//              --gate --append --out=trajectory_updated.json
+#include <iostream>
+#include <string>
+
+#include "common/args.hpp"
+#include "common/error.hpp"
+#include "metrics/trajectory.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace nustencil;
+  ArgParser args("trajectory",
+                 "append-only perf history with a noise-aware trailing-window "
+                 "gate");
+  args.add_option("db", "trajectory database (missing file = empty history)",
+                  "BENCH_trajectory.json");
+  args.add_option("regress", "fresh bench/regress output to fold in", "");
+  args.add_option("kernel", "optional bench/kernel_report output to fold in",
+                  "");
+  args.add_option("out", "write the appended database here (default: --db)",
+                  "");
+  args.add_option("window", "trailing entries per metric for the gate", "5");
+  args.add_option("min-effect",
+                  "minimum relative regression the gate flags (kernel "
+                  "speedups widen to at least 0.25)",
+                  "0.05");
+  args.add_option("mad-sigmas", "noise band half-width in robust sigmas",
+                  "3.0");
+  args.add_flag("gate", "fail (exit 1) on significant regressions vs the "
+                        "trailing window");
+  args.add_flag("append", "append the candidate entry and write the database");
+  if (!args.parse(argc, argv)) return 0;
+
+  const std::string regress_path = args.get("regress");
+  NUSTENCIL_CHECK(!regress_path.empty(),
+                  "trajectory: --regress=<fresh regress json> is required");
+
+  metrics::TrajectoryEntry candidate =
+      metrics::entry_from_regress(metrics::parse_json_file(regress_path));
+  if (const std::string kernel = args.get("kernel"); !kernel.empty())
+    metrics::merge_kernel_report(candidate, metrics::parse_json_file(kernel));
+
+  metrics::TrajectoryDb db = metrics::load_trajectory(args.get("db"));
+  std::cout << "trajectory: " << db.entries.size() << " historical entr"
+            << (db.entries.size() == 1 ? "y" : "ies") << " in "
+            << args.get("db") << ", candidate '" << candidate.git_sha
+            << "' carries " << candidate.metrics.size() << " metric(s)\n";
+
+  bool gate_failed = false;
+  if (args.get_flag("gate")) {
+    metrics::GateOptions opt;
+    opt.window = static_cast<int>(
+        ArgParser::validate_positive("--window", args.get_long("window")));
+    opt.min_effect_rel = args.get_double("min-effect");
+    opt.mad_sigmas = args.get_double("mad-sigmas");
+    const metrics::GateResult result =
+        metrics::gate_candidate(db, candidate, opt);
+    std::cout << metrics::format_gate_console(result);
+    gate_failed = !result.pass;
+  }
+
+  if (args.get_flag("append")) {
+    db.entries.push_back(candidate);
+    const std::string out =
+        args.get("out").empty() ? args.get("db") : args.get("out");
+    metrics::save_trajectory(db, out);
+    std::cout << "appended entry; wrote " << db.entries.size()
+              << " entries to " << out << '\n';
+  }
+  return gate_failed ? 1 : 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 2;
+}

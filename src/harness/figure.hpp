@@ -46,10 +46,13 @@ struct FigureOptions {
   long paper_steps = 100;
   bool csv = false;       ///< additionally emit CSV
   bool quick = true;      ///< false (--full): measure at paper scale
+  int reps = 1;           ///< measurement repetitions per point; the
+                          ///< median-locality repetition feeds the model
   std::string svg;        ///< non-empty: write the chart to this file
 };
 
-/// Parses common bench options (--csv, --full, --domain N, --steps N).
+/// Parses common bench options (--csv, --full, --domain N, --steps N,
+/// --reps N).
 FigureOptions parse_options(int argc, char** argv);
 
 struct FigureResult {

@@ -1,0 +1,432 @@
+#include "metrics/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace nustencil::metrics {
+
+namespace {
+
+/// Object member at a two-deep path, or nullptr anywhere along the way.
+const JsonValue* find_path(const JsonValue& doc, const char* k1,
+                           const char* k2 = nullptr,
+                           const char* k3 = nullptr) {
+  const JsonValue* v = doc.find(k1);
+  if (v && k2) v = v->find(k2);
+  if (v && k3) v = v->find(k3);
+  return v;
+}
+
+/// Number at a path; `fallback` when absent or not a number.
+double num_or(const JsonValue* v, double fallback) {
+  return v && v->type == JsonValue::Type::Number ? v->number : fallback;
+}
+
+std::string value_as_string(const JsonValue& v) {
+  switch (v.type) {
+    case JsonValue::Type::String: return v.string;
+    case JsonValue::Type::Bool: return v.boolean ? "true" : "false";
+    case JsonValue::Type::Null: return "null";
+    case JsonValue::Type::Number: {
+      std::ostringstream os;
+      os.precision(17);
+      os << v.number;
+      return os.str();
+    }
+    default: return "<composite>";
+  }
+}
+
+bool close_rel(double a, double b, double eps) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1e-300});
+  return std::fabs(a - b) <= eps * scale;
+}
+
+/// Parses a report's "stats" section (schema >= 4); absent -> empty.
+StatsSection parse_stats(const JsonValue& doc) {
+  StatsSection s;
+  const JsonValue* stats = doc.find("stats");
+  if (!stats || !stats->is_object()) return s;
+  s.reps = static_cast<int>(num_or(stats->find("reps"), 0.0));
+  if (const JsonValue* metrics = stats->find("metrics")) {
+    for (const auto& [name, v] : metrics->object) {
+      RepSummary r;
+      r.n = static_cast<int>(num_or(v.find("n"), 0.0));
+      r.median = num_or(v.find("median"), 0.0);
+      r.mad = num_or(v.find("mad"), 0.0);
+      r.ci_lo = num_or(v.find("ci_lo"), 0.0);
+      r.ci_hi = num_or(v.find("ci_hi"), 0.0);
+      r.min = num_or(v.find("min"), 0.0);
+      r.max = num_or(v.find("max"), 0.0);
+      s.metrics.emplace_back(name, r);
+    }
+  }
+  return s;
+}
+
+class DiffBuilder {
+ public:
+  DiffBuilder(const JsonValue& a, const JsonValue& b, const DiffOptions& opt)
+      : a_(a), b_(b), opt_(opt), stats_a_(parse_stats(a)),
+        stats_b_(parse_stats(b)) {}
+
+  ReportDiff build();
+
+ private:
+  void config_deltas(const char* section);
+  void add_metric(const std::string& name, MetricKind kind,
+                  const JsonValue* va, const JsonValue* vb);
+  void classify(MetricDelta& m);
+  void collect_phases();
+  void collect_cache();
+  void collect_sched();
+  void collect_prof_totals();
+  void collect_counters();
+  void matrix_delta();
+
+  const JsonValue& a_;
+  const JsonValue& b_;
+  DiffOptions opt_;
+  StatsSection stats_a_, stats_b_;
+  ReportDiff out_;
+};
+
+void DiffBuilder::config_deltas(const char* section) {
+  const JsonValue* ca = a_.find(section);
+  const JsonValue* cb = b_.find(section);
+  std::vector<std::string> keys;
+  std::set<std::string> seen;
+  for (const JsonValue* c : {ca, cb}) {
+    if (!c || !c->is_object()) continue;
+    for (const auto& [k, v] : c->object) {
+      (void)v;
+      if (seen.insert(k).second) keys.push_back(k);
+    }
+  }
+  for (const std::string& k : keys) {
+    const JsonValue* va = ca ? ca->find(k) : nullptr;
+    const JsonValue* vb = cb ? cb->find(k) : nullptr;
+    if (va && va->is_object()) continue;  // machine sub-objects, caches...
+    const std::string sa = va ? value_as_string(*va) : "<absent>";
+    const std::string sb = vb ? value_as_string(*vb) : "<absent>";
+    if (sa != sb)
+      out_.config.push_back({std::string(section) + "/" + k, sa, sb});
+  }
+}
+
+void DiffBuilder::add_metric(const std::string& name, MetricKind kind,
+                             const JsonValue* va, const JsonValue* vb) {
+  if (!va && !vb) return;
+  MetricDelta m;
+  m.name = name;
+  m.kind = kind;
+  m.a_present = va && va->type == JsonValue::Type::Number;
+  m.b_present = vb && vb->type == JsonValue::Type::Number;
+  m.a = m.a_present ? va->number : 0.0;
+  m.b = m.b_present ? vb->number : 0.0;
+  classify(m);
+  out_.metrics.push_back(std::move(m));
+}
+
+void DiffBuilder::classify(MetricDelta& m) {
+  if (!m.a_present || !m.b_present) {
+    // A section present on one side only is a schema/instrumentation
+    // gap, not a performance signal.
+    m.cls = DeltaClass::Noise;
+    return;
+  }
+  bool significant = false;
+  switch (m.kind) {
+    case MetricKind::Exact:
+      if (m.a == m.b) {
+        m.cls = DeltaClass::Equal;
+        return;
+      }
+      significant = true;
+      break;
+    case MetricKind::Derived:
+      if (close_rel(m.a, m.b, opt_.derived_rel_tol)) {
+        m.cls = DeltaClass::Equal;
+        return;
+      }
+      significant = true;
+      break;
+    case MetricKind::Noisy: {
+      if (m.a == m.b) {
+        m.cls = DeltaClass::Equal;
+        return;
+      }
+      const RepSummary* ra = stats_a_.find(m.name);
+      const RepSummary* rb = stats_b_.find(m.name);
+      if (ra && rb && ra->n > 1 && rb->n > 1) {
+        m.used_stats = true;
+        const double effect = std::fabs(rb->median - ra->median);
+        significant = !intervals_overlap(*ra, *rb) &&
+                      effect > opt_.min_effect_rel * std::fabs(ra->median);
+      } else {
+        significant = std::fabs(m.rel()) > opt_.noise_rel_tol;
+      }
+      break;
+    }
+  }
+  m.cls = significant ? DeltaClass::Significant : DeltaClass::Noise;
+  if (significant) {
+    m.verdict = prof::attribute_delta(m.name, out_.agg_a, out_.agg_b);
+    m.has_verdict = true;
+  }
+}
+
+void DiffBuilder::collect_phases() {
+  const JsonValue* pa = a_.find("phases");
+  const JsonValue* pb = b_.find("phases");
+  const char* keys[] = {"init_s", "compute_s", "barrier_wait_s",
+                        "spinflag_wait_s", "imbalance"};
+  for (const char* k : keys) {
+    const JsonValue* va = pa ? pa->find(k) : nullptr;
+    const JsonValue* vb = pb ? pb->find(k) : nullptr;
+    add_metric(std::string("phase/") + k, MetricKind::Noisy, va, vb);
+  }
+}
+
+void DiffBuilder::collect_cache() {
+  const JsonValue* la = find_path(a_, "cache", "levels");
+  const JsonValue* lb = find_path(b_, "cache", "levels");
+  const std::size_t levels =
+      std::max(la && la->is_array() ? la->array.size() : 0,
+               lb && lb->is_array() ? lb->array.size() : 0);
+  for (std::size_t i = 0; i < levels; ++i) {
+    const JsonValue* lva =
+        la && la->is_array() && i < la->array.size() ? &la->array[i] : nullptr;
+    const JsonValue* lvb =
+        lb && lb->is_array() && i < lb->array.size() ? &lb->array[i] : nullptr;
+    const std::string prefix = "cache/L" + std::to_string(i + 1) + "_";
+    add_metric(prefix + "hits", MetricKind::Exact,
+               lva ? lva->find("hits") : nullptr,
+               lvb ? lvb->find("hits") : nullptr);
+    add_metric(prefix + "misses", MetricKind::Exact,
+               lva ? lva->find("misses") : nullptr,
+               lvb ? lvb->find("misses") : nullptr);
+    add_metric(prefix + "hit_rate", MetricKind::Derived,
+               lva ? lva->find("hit_rate") : nullptr,
+               lvb ? lvb->find("hit_rate") : nullptr);
+  }
+  add_metric("cache/memory_bytes", MetricKind::Exact,
+             find_path(a_, "cache", "memory_bytes"),
+             find_path(b_, "cache", "memory_bytes"));
+}
+
+void DiffBuilder::collect_sched() {
+  // Steal decisions race against wall-clock timing, so the counts are
+  // noisy even on an unchanged tree.
+  const char* keys[] = {"steal_attempts", "steals", "steal_fails",
+                        "stolen_updates"};
+  for (const char* k : keys)
+    add_metric(std::string("sched/") + k, MetricKind::Noisy,
+               find_path(a_, "sched", k), find_path(b_, "sched", k));
+}
+
+void DiffBuilder::collect_prof_totals() {
+  const JsonValue* ta = find_path(a_, "prof", "totals");
+  const JsonValue* tb = find_path(b_, "prof", "totals");
+  if (!ta && !tb) return;
+  std::set<std::string> keys;
+  for (const JsonValue* t : {ta, tb})
+    if (t && t->is_object())
+      for (const auto& [k, v] : t->object) {
+        (void)v;
+        keys.insert(k);
+      }
+  for (const std::string& k : keys)
+    add_metric("prof/totals/" + k, MetricKind::Exact,
+               ta ? ta->find(k) : nullptr, tb ? tb->find(k) : nullptr);
+}
+
+void DiffBuilder::collect_counters() {
+  const JsonValue* ca = a_.find("counters");
+  const JsonValue* cb = b_.find("counters");
+  if (!ca && !cb) return;
+  std::set<std::string> keys;
+  for (const JsonValue* c : {ca, cb})
+    if (c && c->is_object())
+      for (const auto& [k, v] : c->object) {
+        (void)v;
+        keys.insert(k);
+      }
+  for (const std::string& k : keys) {
+    const MetricKind kind = k.find("steal") != std::string::npos
+                                ? MetricKind::Noisy
+                                : MetricKind::Exact;
+    add_metric("counters/" + k, kind, ca ? ca->find(k) : nullptr,
+               cb ? cb->find(k) : nullptr);
+  }
+}
+
+void DiffBuilder::matrix_delta() {
+  const JsonValue* ma = find_path(a_, "traffic", "node_matrix");
+  const JsonValue* mb = find_path(b_, "traffic", "node_matrix");
+  if (!ma || !mb || !ma->is_array() || !mb->is_array() || ma->array.empty() ||
+      ma->array.size() != mb->array.size())
+    return;
+  const std::size_t nodes = ma->array.size();
+  std::vector<double> delta;
+  for (std::size_t r = 0; r < nodes; ++r) {
+    const JsonValue& ra = ma->array[r];
+    const JsonValue& rb = mb->array[r];
+    if (!ra.is_array() || !rb.is_array() || ra.array.size() != nodes ||
+        rb.array.size() != nodes)
+      return;
+    for (std::size_t c = 0; c < nodes; ++c)
+      delta.push_back((rb.array[c].num() - ra.array[c].num()) /
+                      (1024.0 * 1024.0));
+  }
+  out_.nodes = static_cast<int>(nodes);
+  out_.matrix_delta_mib = std::move(delta);
+}
+
+ReportDiff DiffBuilder::build() {
+  const auto schema_of = [](const JsonValue& doc) {
+    const JsonValue* v = doc.find("schema_version");
+    const int version = static_cast<int>(num_or(v, 0.0));
+    NUSTENCIL_CHECK(version >= 1,
+                    "diff_reports: document has no schema_version >= 1 "
+                    "(not a nustencil run report)");
+    return version;
+  };
+  out_.schema_a = schema_of(a_);
+  out_.schema_b = schema_of(b_);
+  out_.agg_a = extract_aggregates(a_);
+  out_.agg_b = extract_aggregates(b_);
+
+  config_deltas("config");
+  config_deltas("provenance");
+
+  add_metric("result/seconds", MetricKind::Noisy,
+             find_path(a_, "result", "seconds"),
+             find_path(b_, "result", "seconds"));
+  add_metric("result/gupdates_per_s", MetricKind::Noisy,
+             find_path(a_, "result", "gupdates_per_s"),
+             find_path(b_, "result", "gupdates_per_s"));
+  add_metric("result/updates", MetricKind::Exact,
+             find_path(a_, "result", "updates"),
+             find_path(b_, "result", "updates"));
+  for (const char* k : {"local_bytes", "remote_bytes", "unowned_bytes"})
+    add_metric(std::string("traffic/") + k, MetricKind::Exact,
+               find_path(a_, "traffic", k), find_path(b_, "traffic", k));
+  add_metric("traffic/locality", MetricKind::Derived,
+             find_path(a_, "traffic", "locality"),
+             find_path(b_, "traffic", "locality"));
+  collect_phases();
+  collect_cache();
+  collect_sched();
+  collect_prof_totals();
+  collect_counters();
+  matrix_delta();
+  return std::move(out_);
+}
+
+}  // namespace
+
+const char* delta_class_name(DeltaClass c) {
+  switch (c) {
+    case DeltaClass::Equal: return "equal";
+    case DeltaClass::Noise: return "noise";
+    case DeltaClass::Significant: return "significant";
+  }
+  return "equal";
+}
+
+const char* metric_kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::Exact: return "exact";
+    case MetricKind::Derived: return "derived";
+    case MetricKind::Noisy: return "noisy";
+  }
+  return "noisy";
+}
+
+double MetricDelta::rel() const {
+  if (a == 0.0) return 0.0;
+  return (b - a) / std::fabs(a);
+}
+
+std::size_t ReportDiff::count(DeltaClass c) const {
+  std::size_t n = 0;
+  for (const MetricDelta& m : metrics)
+    if (m.cls == c) ++n;
+  return n;
+}
+
+prof::RunAggregates extract_aggregates(const JsonValue& doc) {
+  prof::RunAggregates agg;
+  if (const JsonValue* v = find_path(doc, "config", "scheme"))
+    agg.scheme = v->str();
+  if (const JsonValue* v = find_path(doc, "config", "kernel_variant"))
+    agg.kernel_variant = v->str();
+  if (const JsonValue* v = find_path(doc, "config", "schedule"))
+    agg.schedule = v->str();
+  agg.seconds = num_or(find_path(doc, "result", "seconds"), -1.0);
+  agg.gupdates_per_s = num_or(find_path(doc, "result", "gupdates_per_s"), -1.0);
+  agg.locality = num_or(find_path(doc, "traffic", "locality"), -1.0);
+  const double local = num_or(find_path(doc, "traffic", "local_bytes"), -1.0);
+  const double remote = num_or(find_path(doc, "traffic", "remote_bytes"), -1.0);
+  if (local >= 0.0 && remote >= 0.0 && local + remote > 0.0)
+    agg.remote_frac = remote / (local + remote);
+  if (const JsonValue* levels = find_path(doc, "cache", "levels");
+      levels && levels->is_array() && !levels->array.empty())
+    agg.deep_miss_rate =
+        1.0 - num_or(levels->array.back().find("hit_rate"), 1.0);
+  agg.imbalance = num_or(find_path(doc, "phases", "imbalance"), -1.0);
+  const double init = num_or(find_path(doc, "phases", "init_s"), -1.0);
+  const double compute = num_or(find_path(doc, "phases", "compute_s"), -1.0);
+  const double barrier =
+      num_or(find_path(doc, "phases", "barrier_wait_s"), -1.0);
+  const double spin = num_or(find_path(doc, "phases", "spinflag_wait_s"), -1.0);
+  if (init >= 0.0 && compute >= 0.0 && barrier >= 0.0 && spin >= 0.0) {
+    const double total = init + compute + barrier + spin;
+    if (total > 0.0) agg.spin_frac = (barrier + spin) / total;
+  }
+  return agg;
+}
+
+std::string format_diff_console(const ReportDiff& diff) {
+  std::ostringstream os;
+  os.precision(6);
+  for (const ConfigDelta& c : diff.config)
+    os << "CONFIG " << c.key << ": '" << c.a << "' -> '" << c.b << "'\n";
+  for (const MetricDelta& m : diff.metrics) {
+    if (m.cls == DeltaClass::Equal) continue;
+    os << "DIFF " << m.name << ": ";
+    if (!m.a_present || !m.b_present) {
+      os << "only in report " << (m.a_present ? "A" : "B") << " ("
+         << (m.a_present ? m.a : m.b) << ") [schema gap]\n";
+      continue;
+    }
+    std::ostringstream rels;
+    rels.precision(1);
+    rels << std::fixed << (m.rel() >= 0 ? "+" : "") << m.rel() * 100.0 << "%";
+    os << m.a << " -> " << m.b << " (" << rels.str() << ", "
+       << metric_kind_name(m.kind) << (m.used_stats ? ", CI" : "") << ") "
+       << (m.cls == DeltaClass::Significant ? "SIGNIFICANT" : "noise");
+    if (m.has_verdict)
+      os << " [" << prof::delta_cause_name(m.verdict.cause) << ": "
+         << m.verdict.evidence << "]";
+    os << '\n';
+  }
+  os << "SUMMARY: " << diff.significant() << " significant, "
+     << diff.count(DeltaClass::Noise) << " noise, "
+     << diff.count(DeltaClass::Equal) << " equal ("
+     << diff.config.size() << " config delta(s), schema v" << diff.schema_a
+     << " vs v" << diff.schema_b << ")\n";
+  return os.str();
+}
+
+ReportDiff diff_reports(const JsonValue& a, const JsonValue& b,
+                        const DiffOptions& options) {
+  return DiffBuilder(a, b, options).build();
+}
+
+}  // namespace nustencil::metrics

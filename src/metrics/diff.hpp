@@ -1,0 +1,109 @@
+// Run-report differential analysis: load two schema-versioned reports
+// (any schema >= 1, forward-tolerant — missing sections are skipped, not
+// errors), compute the structural config delta and every per-metric
+// delta, classify each delta as equal / noise / significant, and attach
+// an evidence-carrying attribution verdict (prof/diff_attribution.hpp)
+// to every significant one.
+//
+// The significance model is per-field-kind:
+//   Exact   — integer-deterministic observables (cell updates, the
+//             local/remote/unowned traffic split, cache hits/misses,
+//             counters).  Any difference is significant: these cannot
+//             move without a code or config change.
+//   Derived — doubles computed from exact fields (locality, hit rates).
+//             Gated at a near-zero relative tolerance that absorbs only
+//             JSON round-trip formatting.
+//   Noisy   — time-derived metrics (wall clock, throughput, phase
+//             seconds, imbalance, steal counters).  With "stats"
+//             sections on both sides (--reps=N runs) a delta is
+//             significant only when the confidence intervals are
+//             disjoint AND the medians moved by min_effect_rel; without
+//             stats, a single-rep fallback threshold (noise_rel_tol)
+//             applies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/json.hpp"
+#include "metrics/stats.hpp"
+#include "prof/diff_attribution.hpp"
+
+namespace nustencil::metrics {
+
+enum class DeltaClass : std::uint8_t { Equal, Noise, Significant };
+
+const char* delta_class_name(DeltaClass c);
+
+enum class MetricKind : std::uint8_t { Exact, Derived, Noisy };
+
+const char* metric_kind_name(MetricKind k);
+
+/// One config/provenance key that differs between the two reports.
+struct ConfigDelta {
+  std::string key;  ///< "config/scheme", "provenance/git_sha", ...
+  std::string a;
+  std::string b;
+};
+
+/// One compared metric.  When a side is missing (older schema, section
+/// disabled) the delta is recorded with *_present = false and classified
+/// Noise — a schema gap is not a performance signal.
+struct MetricDelta {
+  std::string name;  ///< "result/seconds", "traffic/remote_bytes", ...
+  MetricKind kind = MetricKind::Noisy;
+  DeltaClass cls = DeltaClass::Equal;
+  double a = 0.0;
+  double b = 0.0;
+  bool a_present = true;
+  bool b_present = true;
+  bool used_stats = false;  ///< judged by CI overlap, not the fallback
+  bool has_verdict = false;
+  prof::DeltaVerdict verdict;  ///< set when cls == Significant
+
+  double delta() const { return b - a; }
+  /// Relative change (b - a) / |a|; 0 when a == 0.
+  double rel() const;
+};
+
+struct DiffOptions {
+  /// Single-rep noisy metrics: |rel| at or below this is noise.
+  double noise_rel_tol = 0.10;
+  /// Stats-backed metrics: disjoint CIs must also move the value by this
+  /// relative amount (guards against zero-width intervals flagging dust).
+  double min_effect_rel = 0.01;
+  /// Derived doubles: tolerance for JSON round-trip formatting only.
+  double derived_rel_tol = 1e-9;
+};
+
+struct ReportDiff {
+  int schema_a = 0;
+  int schema_b = 0;
+  std::vector<ConfigDelta> config;
+  std::vector<MetricDelta> metrics;
+  prof::RunAggregates agg_a;
+  prof::RunAggregates agg_b;
+  /// Node-to-node traffic matrix delta (b - a), row-major in MiB; nodes
+  /// is 0 when either side lacks a matrix or the shapes differ.
+  int nodes = 0;
+  std::vector<double> matrix_delta_mib;
+
+  std::size_t count(DeltaClass c) const;
+  std::size_t significant() const { return count(DeltaClass::Significant); }
+};
+
+/// Diffs two parsed run-report documents.  Throws Error when either
+/// document lacks a schema_version >= 1 (not a run report at all).
+ReportDiff diff_reports(const JsonValue& a, const JsonValue& b,
+                        const DiffOptions& options = {});
+
+/// Extracts the attribution aggregates from one parsed report (exposed
+/// for tests; diff_reports calls it on both sides).
+prof::RunAggregates extract_aggregates(const JsonValue& doc);
+
+/// One line per non-equal metric plus a summary line — the compact
+/// console verdict table `nustencil_report --diff` prints for CI logs.
+std::string format_diff_console(const ReportDiff& diff);
+
+}  // namespace nustencil::metrics

@@ -246,6 +246,27 @@ void write_model(JsonWriter& w, const std::optional<ModelSection>& m) {
   w.end_object();
 }
 
+void write_stats(JsonWriter& w, const std::optional<StatsSection>& s) {
+  w.begin_object();
+  if (s) {
+    w.kv("reps", s->reps);
+    w.key("metrics").begin_object();
+    for (const auto& [name, r] : s->metrics) {
+      w.key(name).begin_object();
+      w.kv("n", r.n);
+      w.kv("median", r.median);
+      w.kv("mad", r.mad);
+      w.kv("ci_lo", r.ci_lo);
+      w.kv("ci_hi", r.ci_hi);
+      w.kv("min", r.min);
+      w.kv("max", r.max);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_object();
+}
+
 }  // namespace
 
 void write_run_report(const RunReport& report, std::ostream& os) {
@@ -273,6 +294,8 @@ void write_run_report(const RunReport& report, std::ostream& os) {
   write_prof(w, report.prof);
   w.key("model");
   write_model(w, report.model);
+  w.key("stats");
+  write_stats(w, report.stats);
 
   const Snapshot snap = report.registry ? report.registry->snapshot() : Snapshot{};
   w.key("counters").begin_object();

@@ -15,6 +15,7 @@
 #include "cachesim/hierarchy.hpp"
 #include "common/types.hpp"
 #include "metrics/registry.hpp"
+#include "metrics/stats.hpp"
 #include "numa/traffic.hpp"
 #include "prof/attribution.hpp"
 #include "sched/schedule.hpp"
@@ -77,6 +78,7 @@ struct RunReport {
   sched::SchedStats sched;  ///< enabled only under a stealing schedule
   const prof::ProfSummary* prof = nullptr;  ///< null without --trace/--report profiling
   std::optional<ModelSection> model;
+  std::optional<StatsSection> stats;  ///< set when the run had --reps > 1
   const Registry* registry = nullptr;  ///< counters/gauges/histograms
 };
 

@@ -17,7 +17,11 @@ namespace nustencil::metrics {
 /// flags, build type, machine conf) and the "prof" section (per-span
 /// attribution: exact counter totals, stragglers with verdicts,
 /// roofline scatter).
-inline constexpr int kRunReportSchemaVersion = 3;
+/// v4: added the top-level "stats" section (multi-rep robust summaries
+/// written when the CLI runs with --reps=N; empty object otherwise).
+/// Readers (nustencil_report, metrics/diff) stay forward-tolerant: any
+/// schema >= 1 parses, absent sections are skipped.
+inline constexpr int kRunReportSchemaVersion = 4;
 
 /// The fixed leading CSV columns of the nustencil CLI summary table
 /// (before the detail_* and phase columns).

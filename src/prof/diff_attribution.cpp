@@ -1,0 +1,157 @@
+#include "prof/diff_attribution.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace nustencil::prof {
+
+namespace {
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(4);
+  os << v;
+  return os.str();
+}
+
+/// "name x -> y" when both sides carry the aggregate, else "".
+std::string pair_evidence(const char* name, double a, double b) {
+  if (a < 0.0 || b < 0.0) return "";
+  return std::string(name) + " " + fmt(a) + " -> " + fmt(b);
+}
+
+}  // namespace
+
+const char* delta_cause_name(DeltaCause c) {
+  switch (c) {
+    case DeltaCause::ConfigChange: return "config-change";
+    case DeltaCause::KernelChange: return "kernel-change";
+    case DeltaCause::LocalityShift: return "locality-shift";
+    case DeltaCause::CacheMissShift: return "cache-miss-shift";
+    case DeltaCause::ImbalanceShift: return "imbalance-shift";
+    case DeltaCause::SpinShift: return "spin-shift";
+    case DeltaCause::Unexplained: return "unexplained";
+  }
+  return "unexplained";
+}
+
+DeltaVerdict attribute_delta(const std::string& metric,
+                             const RunAggregates& a, const RunAggregates& b) {
+  DeltaVerdict v;
+
+  // A traffic/counter metric names its own cause: the delta IS the shift.
+  if (starts_with(metric, "traffic/") || contains(metric, "remote") ||
+      contains(metric, "local_bytes") || contains(metric, "unowned")) {
+    v.cause = DeltaCause::LocalityShift;
+    v.shift = (a.locality >= 0.0 && b.locality >= 0.0) ? b.locality - a.locality
+                                                       : 0.0;
+    v.evidence = pair_evidence("locality", a.locality, b.locality);
+    if (const std::string rf =
+            pair_evidence("remote_frac", a.remote_frac, b.remote_frac);
+        !rf.empty())
+      v.evidence += (v.evidence.empty() ? "" : ", ") + rf;
+    return v;
+  }
+  if (starts_with(metric, "cache/")) {
+    v.cause = DeltaCause::CacheMissShift;
+    v.shift = (a.deep_miss_rate >= 0.0 && b.deep_miss_rate >= 0.0)
+                  ? b.deep_miss_rate - a.deep_miss_rate
+                  : 0.0;
+    v.evidence =
+        pair_evidence("deep_miss_rate", a.deep_miss_rate, b.deep_miss_rate);
+    return v;
+  }
+  if (contains(metric, "spinflag_wait") || contains(metric, "barrier_wait") ||
+      contains(metric, "spins")) {
+    v.cause = DeltaCause::SpinShift;
+    v.shift = (a.spin_frac >= 0.0 && b.spin_frac >= 0.0)
+                  ? b.spin_frac - a.spin_frac
+                  : 0.0;
+    v.evidence = pair_evidence("spin_frac", a.spin_frac, b.spin_frac);
+    return v;
+  }
+  if (contains(metric, "imbalance") || starts_with(metric, "sched/")) {
+    v.cause = DeltaCause::ImbalanceShift;
+    v.shift = (a.imbalance >= 0.0 && b.imbalance >= 0.0)
+                  ? b.imbalance - a.imbalance
+                  : 0.0;
+    v.evidence = pair_evidence("imbalance", a.imbalance, b.imbalance);
+    return v;
+  }
+
+  // Headline metric (result/seconds, result/gupdates_per_s, kernel
+  // counters, phase/compute_s...): explicit config changes win first.
+  if (!a.kernel_variant.empty() && !b.kernel_variant.empty() &&
+      a.kernel_variant != b.kernel_variant) {
+    v.cause = DeltaCause::KernelChange;
+    v.evidence = "kernel '" + a.kernel_variant + "' -> '" + b.kernel_variant + "'";
+    return v;
+  }
+  if (!a.scheme.empty() && !b.scheme.empty() && a.scheme != b.scheme) {
+    v.cause = DeltaCause::ConfigChange;
+    v.evidence = "scheme '" + a.scheme + "' -> '" + b.scheme + "'";
+    return v;
+  }
+  if (!a.schedule.empty() && !b.schedule.empty() && a.schedule != b.schedule) {
+    v.cause = DeltaCause::ConfigChange;
+    v.evidence = "schedule '" + a.schedule + "' -> '" + b.schedule + "'";
+    return v;
+  }
+
+  // Dominant aggregate shift: score each candidate by how far past its
+  // threshold it moved, pick the largest score >= 1.
+  struct Candidate {
+    DeltaCause cause;
+    double a_val, b_val, threshold;
+    const char* name;
+  };
+  const Candidate candidates[] = {
+      {DeltaCause::SpinShift, a.spin_frac, b.spin_frac, kDeltaSpinShift,
+       "spin_frac"},
+      {DeltaCause::LocalityShift, a.locality, b.locality, kDeltaLocalityShift,
+       "locality"},
+      {DeltaCause::CacheMissShift, a.deep_miss_rate, b.deep_miss_rate,
+       kDeltaMissShift, "deep_miss_rate"},
+      {DeltaCause::ImbalanceShift, a.imbalance, b.imbalance,
+       kDeltaImbalanceShift, "imbalance"},
+  };
+  double best_score = 0.0;
+  for (const Candidate& c : candidates) {
+    if (c.a_val < 0.0 || c.b_val < 0.0) continue;
+    const double shift = c.b_val - c.a_val;
+    const double score = std::fabs(shift) / c.threshold;
+    if (score >= 1.0 && score > best_score) {
+      best_score = score;
+      v.cause = c.cause;
+      v.shift = shift;
+      v.evidence = pair_evidence(c.name, c.a_val, c.b_val);
+    }
+  }
+  if (v.cause == DeltaCause::LocalityShift) {
+    if (const std::string rf =
+            pair_evidence("remote_frac", a.remote_frac, b.remote_frac);
+        !rf.empty())
+      v.evidence += ", " + rf;
+  }
+  if (v.cause == DeltaCause::Unexplained) {
+    std::string trail;
+    for (const Candidate& c : candidates) {
+      const std::string e = pair_evidence(c.name, c.a_val, c.b_val);
+      if (e.empty()) continue;
+      trail += (trail.empty() ? "" : ", ") + e;
+    }
+    v.evidence = trail.empty() ? "no aggregate shift clears its threshold"
+                               : "below thresholds: " + trail;
+  }
+  return v;
+}
+
+}  // namespace nustencil::prof

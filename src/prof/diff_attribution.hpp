@@ -1,0 +1,71 @@
+// Differential attribution: explain a changed metric between two run
+// reports from report-level aggregates, the same way the straggler
+// analyzer (prof/attribution.hpp) explains one slow span from its
+// counter deltas.
+//
+// The cause taxonomy mirrors the span verdicts lifted to whole runs: a
+// significant delta is either explained by an explicit configuration
+// change (different kernel, scheme, schedule...), or by the dominant
+// aggregate shift — locality (remote-traffic), deepest-level cache miss
+// rate, load imbalance, or spin/wait share.  Every verdict carries the
+// numeric evidence it was judged on so the diff dashboard and the
+// console summary can show their work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nustencil::prof {
+
+enum class DeltaCause : std::uint8_t {
+  ConfigChange = 0,  ///< an explicit config delta explains the move
+  KernelChange,      ///< the kernel engine selected a different variant
+  LocalityShift,     ///< NUMA locality / remote-traffic share moved
+  CacheMissShift,    ///< deepest-level miss rate moved
+  ImbalanceShift,    ///< busy-time imbalance moved
+  SpinShift,         ///< barrier/spin wait share moved
+  Unexplained,       ///< no aggregate shift clears its threshold
+};
+
+const char* delta_cause_name(DeltaCause c);
+
+/// Report-level aggregates of one run, extracted from a parsed report by
+/// the diff engine (metrics/diff.cpp).  Negative values mean "section
+/// absent from this report" (older schema or instrumentation off).
+struct RunAggregates {
+  std::string scheme;
+  std::string kernel_variant;
+  std::string schedule;
+  double seconds = -1.0;
+  double gupdates_per_s = -1.0;
+  double locality = -1.0;
+  double remote_frac = -1.0;    ///< remote / (local + remote) bytes
+  double deep_miss_rate = -1.0; ///< miss rate at the deepest cache level
+  double imbalance = -1.0;      ///< max/mean busy time
+  double spin_frac = -1.0;      ///< wait seconds / accounted seconds
+};
+
+/// The verdict plus the evidence it rests on.  `shift` is the winning
+/// aggregate's absolute change (b - a); `evidence` is a compact numeric
+/// trail ("locality 0.981 -> 0.710, remote_frac 0.019 -> 0.290").
+struct DeltaVerdict {
+  DeltaCause cause = DeltaCause::Unexplained;
+  double shift = 0.0;
+  std::string evidence;
+};
+
+/// Judges one significant metric delta.  Metric-name categories win
+/// first (a traffic/* delta IS a locality shift, a cache/* delta IS a
+/// miss shift); headline metrics (result/*) fall through to the
+/// dominant-aggregate-shift rule with the thresholds below.
+DeltaVerdict attribute_delta(const std::string& metric,
+                             const RunAggregates& a, const RunAggregates& b);
+
+// Aggregate-shift thresholds (absolute changes; deliberately coarse —
+// the point is to label the dominant term, not to fit a model).
+inline constexpr double kDeltaLocalityShift = 0.02;
+inline constexpr double kDeltaMissShift = 0.02;
+inline constexpr double kDeltaImbalanceShift = 0.05;
+inline constexpr double kDeltaSpinShift = 0.05;
+
+}  // namespace nustencil::prof

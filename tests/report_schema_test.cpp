@@ -37,7 +37,7 @@ TEST(Schema, RunReportTopLevelKeysAreGolden) {
       "schema_version", "generator", "provenance", "config",
       "machine",        "result",    "traffic",    "cache",
       "phases",         "sched",     "prof",       "model",
-      "counters",       "gauges",    "histograms"};
+      "stats",          "counters",  "gauges",     "histograms"};
   EXPECT_EQ(run_report_top_level_keys(), golden);
 }
 
@@ -45,7 +45,8 @@ TEST(Schema, VersionIsPinned) {
   // Bumped deliberately whenever a golden list above changes.
   // v2: top-level "sched" section + config.schedule.
   // v3: top-level "provenance" and "prof" sections.
-  EXPECT_EQ(kRunReportSchemaVersion, 3);
+  // v4: top-level "stats" section (--reps summaries).
+  EXPECT_EQ(kRunReportSchemaVersion, 4);
 }
 
 TEST(Schema, EmittedDocumentMatchesDeclaredKeys) {

@@ -228,6 +228,13 @@ int main(int argc, char** argv) try {
                   "--no-cache-sim — trace-driven cache simulation; render "
                   "with nustencil_report)",
                   "");
+  args.add_option("reps",
+                  "timing repetitions for a --report run: N-1 lightweight "
+                  "runs plus the final instrumented run feed a "
+                  "median/MAD/CI stats section, so report diffs judge "
+                  "time-derived deltas by interval overlap instead of a "
+                  "fixed tolerance",
+                  "1");
   args.add_option("kernel",
                   "row-kernel policy: auto, scalar, sse2, avx2, fma (not "
                   "bit-exact), or generic (runtime-taps baseline)",
@@ -303,6 +310,11 @@ int main(int argc, char** argv) try {
       !trace_path.empty() || !trace_svg_path.empty() || !flame_path.empty();
   const bool want_report = !report_path.empty();
   const bool want_cache_sim = want_report && !args.get_flag("no-cache-sim");
+  const int reps = static_cast<int>(
+      ArgParser::validate_positive("--reps", args.get_long("reps")));
+  if (reps > 1 && !want_report)
+    std::cerr << "warning: --reps only affects --report runs (the stats "
+                 "section); ignoring it\n";
   const bool want_phases =
       args.get_flag("phase-metrics") || want_trace || want_report;
   const int trace_buffer = static_cast<int>(
@@ -368,6 +380,36 @@ int main(int argc, char** argv) try {
       if (want_cache_sim) {
         cache_sim.emplace(*machine, threads);
         cfg.cache_sim = &*cache_sim;
+      }
+    }
+
+    // --reps: the first reps-1 repetitions run without the trace ring,
+    // registry or cache simulator so their wall clock is representative;
+    // the final instrumented run below contributes the last repetition
+    // (and everything else in the report).
+    std::vector<double> rep_seconds, rep_gup, rep_init, rep_compute,
+        rep_barrier, rep_spin, rep_imbalance;
+    const auto record_rep = [&](const schemes::RunResult& r) {
+      rep_seconds.push_back(r.seconds);
+      rep_gup.push_back(r.gupdates_per_second());
+      rep_init.push_back(r.phases.total_s(trace::Phase::Init));
+      rep_compute.push_back(r.phases.total_s(trace::Phase::Tile));
+      rep_barrier.push_back(r.phases.total_s(trace::Phase::BarrierWait));
+      rep_spin.push_back(r.phases.total_s(trace::Phase::SpinWait));
+      rep_imbalance.push_back(r.phases.imbalance());
+    };
+    if (want_report) {
+      for (int rep = 1; rep < reps; ++rep) {
+        schemes::RunConfig warm = cfg;
+        warm.trace = nullptr;
+        warm.metrics = nullptr;
+        warm.cache_sim = nullptr;
+        warm.progress = nullptr;
+        warm.profile_spans = false;
+        warm.collect_phase_metrics = true;
+        core::Problem rep_problem(shape, stencil);
+        record_rep(schemes::make_scheme(args.get("scheme"))
+                       ->run(rep_problem, warm));
       }
     }
 
@@ -447,6 +489,19 @@ int main(int argc, char** argv) try {
         rep.cache_line_bytes = cache_sim->line_bytes();
       }
       rep.phases = result.phases;
+      record_rep(result);
+      if (reps > 1) {
+        metrics::StatsSection stats;
+        stats.reps = reps;
+        stats.add("result/seconds", rep_seconds);
+        stats.add("result/gupdates_per_s", rep_gup);
+        stats.add("phase/init_s", rep_init);
+        stats.add("phase/compute_s", rep_compute);
+        stats.add("phase/barrier_wait_s", rep_barrier);
+        stats.add("phase/spinflag_wait_s", rep_spin);
+        stats.add("phase/imbalance", rep_imbalance);
+        rep.stats = std::move(stats);
+      }
       rep.model = build_model_section(*scheme, *machine, shape, stencil, result);
       metrics::export_run_to_registry(*registry, rep);
       rep.registry = &*registry;

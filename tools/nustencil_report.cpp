@@ -1,11 +1,22 @@
-// nustencil_report — renders a nustencil JSON run report (written by
-// `nustencil --report=out.json`) into a self-contained HTML dashboard:
-// the node-to-node traffic heatmap, the locality timeline, per-thread
-// phase bars, and the roofline placement against the paper's reference
-// lines.  No external assets; every panel is inline SVG.
+// nustencil_report — renders nustencil JSON run reports (written by
+// `nustencil --report=out.json`) into self-contained HTML dashboards.
 //
-//   nustencil_report run.json              # writes run.html
+// Single-run mode renders the traffic heatmap, locality timeline,
+// per-thread phase bars, roofline placement, per-span attribution and —
+// when a trajectory database (BENCH_trajectory.json) is present —
+// performance-trajectory sparklines.  Diff mode loads two reports,
+// classifies every metric delta as significant or noise (CI overlap
+// when both runs carry --reps stats), attributes each significant delta
+// to a cause with numeric evidence, prints the compact console verdict
+// table for CI logs, and renders the diff dashboard: config deltas,
+// verdict table, phase-time waterfall, NUMA traffic delta heatmap and
+// side-by-side rooflines.  Reports of any schema version >= 1 are
+// accepted; absent sections are skipped, not errors.
+//
+//   nustencil_report run.json                    # writes run.html
 //   nustencil_report run.json dash.html
+//   nustencil_report --diff A.json B.json [diff.html]
+//   nustencil_report --diff A.json B.json --no-html   # console verdicts only
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -13,9 +24,12 @@
 #include <string>
 #include <vector>
 
+#include "common/args.hpp"
 #include "common/error.hpp"
+#include "metrics/diff.hpp"
 #include "metrics/json.hpp"
 #include "metrics/schema.hpp"
+#include "metrics/trajectory.hpp"
 #include "report/svg_chart.hpp"
 #include "report/svg_util.hpp"
 
@@ -24,7 +38,22 @@ namespace {
 using namespace nustencil;
 using metrics::JsonValue;
 
-std::string heatmap_panel(const JsonValue& traffic) {
+// ---------------------------------------------------------------------------
+// Shared panel plumbing
+
+/// Renders `panel(doc)`; a missing/short section in an older or
+/// truncated report degrades to a note instead of killing the dashboard.
+template <typename Fn>
+std::string panel_or(const JsonValue& doc, Fn panel, const char* what) {
+  try {
+    return panel(doc);
+  } catch (const std::exception&) {
+    return std::string("<p>No ") + what + " section in this report.</p>\n";
+  }
+}
+
+std::string heatmap_panel(const JsonValue& doc) {
+  const JsonValue& traffic = doc.at("traffic");
   const JsonValue& matrix = traffic.at("node_matrix");
   if (!matrix.is_array() || matrix.array.empty())
     return "<p>No traffic matrix (run was not instrumented).</p>\n";
@@ -47,8 +76,8 @@ std::string heatmap_panel(const JsonValue& traffic) {
   return report::render_heatmap_svg(hm);
 }
 
-std::string locality_panel(const JsonValue& traffic) {
-  const JsonValue& series = traffic.at("locality_series");
+std::string locality_panel(const JsonValue& doc) {
+  const JsonValue& series = doc.at("traffic").at("locality_series");
   if (!series.is_array() || series.array.size() < 2)
     return "<p>No locality time-series (need at least two samples).</p>\n";
 
@@ -69,7 +98,8 @@ std::string locality_panel(const JsonValue& traffic) {
   return report::render_svg(c);
 }
 
-std::string phases_panel(const JsonValue& phases) {
+std::string phases_panel(const JsonValue& doc) {
+  const JsonValue& phases = doc.at("phases");
   const JsonValue* enabled = phases.find("enabled");
   if (!enabled || !enabled->boolean_value())
     return "<p>No phase breakdown (run without phase metrics).</p>\n";
@@ -154,8 +184,8 @@ std::string summary_table(const JsonValue& doc) {
   return os.str();
 }
 
-std::string cache_table(const JsonValue& cache) {
-  const JsonValue* levels = cache.find("levels");
+std::string cache_table(const JsonValue& doc) {
+  const JsonValue* levels = doc.at("cache").find("levels");
   if (!levels) return "<p>No cache simulation in this report.</p>\n";
   std::ostringstream os;
   os << "<table>\n<tr><th>level</th><th>hits</th><th>misses</th>"
@@ -234,7 +264,8 @@ std::string prof_section(const JsonValue& doc) {
   const JsonValue* prof = doc.find("prof");
   std::ostringstream os;
   os << "<h2>Per-span attribution</h2>\n";
-  if (!prof || !prof->at("enabled").boolean_value()) {
+  if (!prof || !prof->find("enabled") ||
+      !prof->at("enabled").boolean_value()) {
     os << "<p>Per-span attribution was disabled for this run.</p>\n";
     return os.str();
   }
@@ -243,6 +274,29 @@ std::string prof_section(const JsonValue& doc) {
      << " trace events dropped.</p>\n";
   os << "<h3>Stragglers (slowest spans)</h3>\n" << straggler_table(*prof);
   os << "<h3>Span roofline</h3>\n" << span_roofline_panel(*prof);
+  return os.str();
+}
+
+std::string stats_table(const JsonValue& doc) {
+  const JsonValue* stats = doc.find("stats");
+  if (!stats || !stats->is_object()) return "";
+  const JsonValue* metrics_obj = stats->find("metrics");
+  if (!metrics_obj || metrics_obj->object.empty()) return "";
+  std::ostringstream os;
+  os << "<h2>Repetition statistics ("
+     << report::fmt_num(stats->at("reps").num()) << " reps)</h2>\n<table>\n"
+     << "<tr><th>metric</th><th>median</th><th>MAD</th><th>95% CI</th>"
+        "<th>min</th><th>max</th></tr>\n";
+  for (const auto& [name, r] : metrics_obj->object) {
+    os << "<tr><th>" << report::svg_escape(name) << "</th><td>"
+       << report::fmt_num(r.at("median").num()) << "</td><td>"
+       << report::fmt_num(r.at("mad").num()) << "</td><td>["
+       << report::fmt_num(r.at("ci_lo").num()) << ", "
+       << report::fmt_num(r.at("ci_hi").num()) << "]</td><td>"
+       << report::fmt_num(r.at("min").num()) << "</td><td>"
+       << report::fmt_num(r.at("max").num()) << "</td></tr>\n";
+  }
+  os << "</table>\n";
   return os.str();
 }
 
@@ -267,80 +321,326 @@ std::string provenance_footer(const JsonValue& doc) {
 }
 
 std::string counters_table(const JsonValue& doc) {
-  const JsonValue& counters = doc.at("counters");
-  if (counters.object.empty()) return "";
+  const JsonValue* counters = doc.find("counters");
+  if (!counters || counters->object.empty()) return "";
   std::ostringstream os;
   os << "<h2>Counters</h2>\n<table>\n";
-  for (const auto& [name, v] : counters.object)
+  for (const auto& [name, v] : counters->object)
     os << "<tr><th>" << report::svg_escape(name) << "</th><td>"
        << report::fmt_num(v.num()) << "</td></tr>\n";
   os << "</table>\n";
   return os.str();
 }
 
-std::string render_dashboard(const JsonValue& doc) {
-  const double version = doc.at("schema_version").num();
-  NUSTENCIL_CHECK(static_cast<int>(version) == metrics::kRunReportSchemaVersion,
-                  "nustencil_report: unsupported schema version " +
-                      std::to_string(static_cast<int>(version)));
+// ---------------------------------------------------------------------------
+// Trajectory sparklines (single-run dashboard)
 
+/// Short entry label: 7-char git SHA, or the entry index.
+std::string entry_tick(const metrics::TrajectoryEntry& e, std::size_t i) {
+  if (!e.git_sha.empty()) return e.git_sha.substr(0, 7);
+  return "#" + std::to_string(i);
+}
+
+std::string trajectory_chart(const metrics::TrajectoryDb& db,
+                             const std::string& title,
+                             const std::string& y_label,
+                             const std::string& prefix,
+                             const std::string& suffix) {
+  report::ChartSpec c;
+  c.title = title;
+  c.x_label = "history entry";
+  c.y_label = y_label;
+  c.height = 300;
+  for (std::size_t i = 0; i < db.entries.size(); ++i)
+    c.x_ticks.push_back(entry_tick(db.entries[i], i));
+  for (const auto& [name, value] : db.entries.back().metrics) {
+    (void)value;
+    if (name.rfind(prefix, 0) != 0) continue;
+    if (!suffix.empty() &&
+        (name.size() < suffix.size() ||
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0))
+      continue;
+    report::Series s;
+    s.label = name.substr(prefix.size(),
+                          name.size() - prefix.size() - suffix.size());
+    for (const metrics::TrajectoryEntry& e : db.entries) {
+      const double* v = e.find(name);
+      s.values.push_back(v ? *v : std::nan(""));
+    }
+    c.series.push_back(std::move(s));
+  }
+  if (c.series.empty()) return "";
+  return report::render_svg(c);
+}
+
+std::string trajectory_section(const std::string& path) {
+  metrics::TrajectoryDb db;
+  try {
+    db = metrics::load_trajectory(path);
+  } catch (const std::exception&) {
+    return "";  // unreadable history should not kill a run dashboard
+  }
+  if (db.entries.empty()) return "";
+  std::ostringstream os;
+  os << "<h2>Performance trajectory</h2>\n<p>" << db.entries.size()
+     << " entries from " << report::svg_escape(path) << "</p>\n";
+  const std::string model =
+      trajectory_chart(db, "regress model throughput over history",
+                       "model Gupdates/s per core", "regress/",
+                       "/model_gup_core");
+  const std::string kernel = trajectory_chart(
+      db, "kernel speedups over history", "speedup vs scalar", "kernel/", "");
+  if (model.empty() && kernel.empty()) return "";
+  os << model << kernel;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Dashboards
+
+const char* kStyle =
+    "body{font-family:sans-serif;max-width:1080px;margin:24px auto;}\n"
+    "table{border-collapse:collapse;margin:12px 0;}\n"
+    "th,td{border:1px solid #ccc;padding:4px 10px;text-align:left;"
+    "font-size:14px;}\n"
+    "svg{display:block;margin:16px 0;}\n"
+    ".cols{display:flex;gap:8px;flex-wrap:wrap;}\n"
+    ".cols>div{flex:1;min-width:480px;}\n"
+    // Verdict badge colours match palette_color(verdict_class(...)).
+    ".verdict{color:white;padding:1px 6px;border-radius:3px;"
+    "font-size:12px;}\n"
+    ".v0{background:#1f77b4;}.v1{background:#d62728;}\n"
+    ".v2{background:#2ca02c;}.v3{background:#ff7f0e;}\n"
+    ".sig{background:#d62728;color:white;padding:1px 6px;"
+    "border-radius:3px;font-size:12px;}\n"
+    ".noise{background:#999;color:white;padding:1px 6px;"
+    "border-radius:3px;font-size:12px;}\n"
+    "footer p.prov{color:#777;font-size:12px;border-top:1px solid #ccc;"
+    "padding-top:8px;}\n";
+
+int check_schema(const JsonValue& doc, const std::string& path) {
+  const JsonValue* v = doc.find("schema_version");
+  const int version =
+      v && v->type == JsonValue::Type::Number ? static_cast<int>(v->num()) : 0;
+  NUSTENCIL_CHECK(version >= 1, "nustencil_report: " + path +
+                                    " has no schema_version >= 1 (not a "
+                                    "nustencil run report)");
+  if (version > metrics::kRunReportSchemaVersion)
+    std::cerr << "warning: " << path << " is schema v" << version
+              << ", newer than this tool (v"
+              << metrics::kRunReportSchemaVersion
+              << "); unknown sections are ignored\n";
+  return version;
+}
+
+std::string render_dashboard(const JsonValue& doc,
+                             const std::string& trajectory_path) {
   std::ostringstream os;
   os << "<!DOCTYPE html>\n<html>\n<head>\n<meta charset='utf-8'>\n<title>"
      << report::svg_escape(doc.at("config").at("scheme").str())
-     << " run report</title>\n<style>\n"
-        "body{font-family:sans-serif;max-width:1080px;margin:24px auto;}\n"
-        "table{border-collapse:collapse;margin:12px 0;}\n"
-        "th,td{border:1px solid #ccc;padding:4px 10px;text-align:left;"
-        "font-size:14px;}\n"
-        "svg{display:block;margin:16px 0;}\n"
-        // Verdict badge colours match palette_color(verdict_class(...)).
-        ".verdict{color:white;padding:1px 6px;border-radius:3px;"
-        "font-size:12px;}\n"
-        ".v0{background:#1f77b4;}.v1{background:#d62728;}\n"
-        ".v2{background:#2ca02c;}.v3{background:#ff7f0e;}\n"
-        "footer p.prov{color:#777;font-size:12px;border-top:1px solid #ccc;"
-        "padding-top:8px;}\n"
-        "</style>\n</head>\n<body>\n";
+     << " run report</title>\n<style>\n" << kStyle << "</style>\n</head>\n<body>\n";
   os << "<h1>nustencil run report</h1>\n";
-  os << summary_table(doc);
-  os << "<h2>NUMA traffic</h2>\n" << heatmap_panel(doc.at("traffic"));
-  os << "<h2>Locality timeline</h2>\n" << locality_panel(doc.at("traffic"));
-  os << "<h2>Phases</h2>\n" << phases_panel(doc.at("phases"));
-  os << "<h2>Roofline</h2>\n" << roofline_panel(doc);
-  os << "<h2>Cache hierarchy</h2>\n" << cache_table(doc.at("cache"));
+  os << panel_or(doc, summary_table, "summary");
+  os << "<h2>NUMA traffic</h2>\n" << panel_or(doc, heatmap_panel, "traffic");
+  os << "<h2>Locality timeline</h2>\n"
+     << panel_or(doc, locality_panel, "locality");
+  os << "<h2>Phases</h2>\n" << panel_or(doc, phases_panel, "phases");
+  os << "<h2>Roofline</h2>\n" << panel_or(doc, roofline_panel, "model");
+  os << "<h2>Cache hierarchy</h2>\n" << panel_or(doc, cache_table, "cache");
   os << prof_section(doc);
+  os << stats_table(doc);
+  os << trajectory_section(trajectory_path);
   os << counters_table(doc);
   os << provenance_footer(doc);
   os << "</body>\n</html>\n";
   return os.str();
 }
 
-std::string default_output(const std::string& input) {
+std::string config_delta_table(const metrics::ReportDiff& diff) {
+  if (diff.config.empty())
+    return "<p>No config or provenance deltas: the runs are directly "
+           "comparable.</p>\n";
+  std::ostringstream os;
+  os << "<table>\n<tr><th>key</th><th>A</th><th>B</th></tr>\n";
+  for (const metrics::ConfigDelta& c : diff.config)
+    os << "<tr><th>" << report::svg_escape(c.key) << "</th><td>"
+       << report::svg_escape(c.a) << "</td><td>" << report::svg_escape(c.b)
+       << "</td></tr>\n";
+  os << "</table>\n";
+  return os.str();
+}
+
+std::string verdict_table(const metrics::ReportDiff& diff) {
+  std::ostringstream os;
+  os << "<table>\n<tr><th>metric</th><th>A</th><th>B</th><th>&Delta;</th>"
+        "<th>rel</th><th>kind</th><th>class</th><th>verdict</th>"
+        "<th>evidence</th></tr>\n";
+  std::size_t shown = 0;
+  for (const metrics::MetricDelta& m : diff.metrics) {
+    if (m.cls == metrics::DeltaClass::Equal) continue;
+    ++shown;
+    std::ostringstream rel;
+    rel.precision(1);
+    rel << std::fixed << (m.rel() >= 0 ? "+" : "") << m.rel() * 100.0 << "%";
+    os << "<tr><th>" << report::svg_escape(m.name) << "</th><td>"
+       << report::fmt_num(m.a) << "</td><td>" << report::fmt_num(m.b)
+       << "</td><td>" << report::fmt_num(m.delta()) << "</td><td>"
+       << rel.str() << "</td><td>" << metrics::metric_kind_name(m.kind)
+       << (m.used_stats ? " (CI)" : "") << "</td><td><span class='"
+       << (m.cls == metrics::DeltaClass::Significant ? "sig'>significant"
+                                                     : "noise'>noise")
+       << "</span></td><td>"
+       << (m.has_verdict
+               ? report::svg_escape(prof::delta_cause_name(m.verdict.cause))
+               : std::string("&mdash;"))
+       << "</td><td>"
+       << (m.has_verdict ? report::svg_escape(m.verdict.evidence)
+                         : std::string(""))
+       << "</td></tr>\n";
+  }
+  os << "</table>\n";
+  if (shown == 0)
+    return "<p>Every compared metric is exactly equal.</p>\n";
+  std::ostringstream head;
+  head << "<p>" << diff.significant() << " significant, "
+       << diff.count(metrics::DeltaClass::Noise) << " noise, "
+       << diff.count(metrics::DeltaClass::Equal)
+       << " exactly equal metrics.</p>\n";
+  return head.str() + os.str();
+}
+
+std::string phase_waterfall_panel(const metrics::ReportDiff& diff) {
+  report::WaterfallSpec wf;
+  wf.title = "phase-time deltas (B - A)";
+  wf.x_label = "phase";
+  wf.y_label = "seconds";
+  for (const metrics::MetricDelta& m : diff.metrics) {
+    if (m.name.rfind("phase/", 0) != 0 || m.name == "phase/imbalance") continue;
+    if (!m.a_present || !m.b_present) continue;
+    wf.labels.push_back(m.name.substr(6));
+    wf.deltas.push_back(m.delta());
+  }
+  if (wf.labels.empty())
+    return "<p>No phase breakdown on both sides.</p>\n";
+  return report::render_waterfall_svg(wf);
+}
+
+std::string matrix_delta_panel(const metrics::ReportDiff& diff) {
+  if (diff.nodes == 0)
+    return "<p>No comparable NUMA traffic matrices (missing or different "
+           "node counts).</p>\n";
+  report::HeatmapSpec hm;
+  hm.title = "node-to-node traffic delta (B - A, MiB)";
+  hm.x_label = "owner node";
+  hm.y_label = "consumer node";
+  hm.diverging = true;
+  for (int n = 0; n < diff.nodes; ++n) {
+    hm.x_ticks.push_back(std::to_string(n));
+    hm.y_ticks.push_back(std::to_string(n));
+  }
+  hm.values = diff.matrix_delta_mib;
+  return report::render_heatmap_svg(hm);
+}
+
+std::string render_diff_dashboard(const JsonValue& a, const JsonValue& b,
+                                  const std::string& path_a,
+                                  const std::string& path_b,
+                                  const metrics::ReportDiff& diff) {
+  std::ostringstream os;
+  os << "<!DOCTYPE html>\n<html>\n<head>\n<meta charset='utf-8'>\n"
+        "<title>nustencil run diff</title>\n<style>\n"
+     << kStyle << "</style>\n</head>\n<body>\n";
+  os << "<h1>nustencil run diff</h1>\n<p>A = "
+     << report::svg_escape(path_a) << " (schema v" << diff.schema_a
+     << "), B = " << report::svg_escape(path_b) << " (schema v"
+     << diff.schema_b << ")</p>\n";
+  os << "<h2>Config &amp; provenance deltas</h2>\n" << config_delta_table(diff);
+  os << "<h2>Metric verdicts</h2>\n" << verdict_table(diff);
+  os << "<h2>Phase-time waterfall</h2>\n" << phase_waterfall_panel(diff);
+  os << "<h2>NUMA traffic delta</h2>\n" << matrix_delta_panel(diff);
+  os << "<h2>Rooflines side by side</h2>\n<div class='cols'>\n<div>\n<h3>A</h3>\n"
+     << panel_or(a, roofline_panel, "model") << "</div>\n<div>\n<h3>B</h3>\n"
+     << panel_or(b, roofline_panel, "model") << "</div>\n</div>\n";
+  os << "<div class='cols'>\n<div>\n<h3>Summary A</h3>\n"
+     << panel_or(a, summary_table, "summary") << "</div>\n<div>\n"
+     << "<h3>Summary B</h3>\n" << panel_or(b, summary_table, "summary")
+     << "</div>\n</div>\n";
+  os << provenance_footer(b);
+  os << "</body>\n</html>\n";
+  return os.str();
+}
+
+std::string default_output(const std::string& input, const char* tag = "") {
   const std::size_t dot = input.rfind('.');
   if (dot == std::string::npos || input.find('/', dot) != std::string::npos)
-    return input + ".html";
-  return input.substr(0, dot) + ".html";
+    return input + tag + ".html";
+  return input.substr(0, dot) + tag + ".html";
+}
+
+/// Parses a report file; any I/O or syntax problem becomes one clear
+/// error line naming the file instead of an unhandled throw.
+JsonValue load_report(const std::string& path) {
+  try {
+    return metrics::parse_json_file(path);
+  } catch (const std::exception& e) {
+    throw Error("cannot load report '" + path + "': " + e.what());
+  }
+}
+
+void write_html(const std::string& html, const std::string& path) {
+  std::ofstream out(path);
+  NUSTENCIL_CHECK(out.good(), "nustencil_report: cannot open " + path);
+  out << html;
+  NUSTENCIL_CHECK(out.good(), "nustencil_report: write failed for " + path);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) try {
-  if (argc < 2 || argc > 3 || std::string(argv[1]) == "--help") {
-    std::cerr << "usage: nustencil_report <report.json> [<out.html>]\n"
-                 "renders a nustencil --report JSON file into a "
-                 "self-contained HTML dashboard\n";
-    return argc >= 2 && std::string(argv[1]) == "--help" ? 0 : 2;
+  ArgParser args("nustencil_report",
+                 "render nustencil --report JSON files into self-contained "
+                 "HTML dashboards, or diff two of them");
+  args.add_flag("diff",
+                "compare two reports: nustencil_report --diff A.json B.json "
+                "[out.html]; prints the console verdict table and renders "
+                "the diff dashboard");
+  args.add_flag("no-html", "console output only (diff mode), skip the HTML");
+  args.add_option("trajectory",
+                  "trajectory database for the history sparklines in the "
+                  "single-run dashboard (skipped when the file is absent)",
+                  "BENCH_trajectory.json");
+  if (!args.parse(argc, argv)) return 0;
+  const std::vector<std::string>& pos = args.positionals();
+
+  if (args.get_flag("diff")) {
+    NUSTENCIL_CHECK(pos.size() == 2 || pos.size() == 3,
+                    "usage: nustencil_report --diff <A.json> <B.json> "
+                    "[<out.html>]");
+    const JsonValue a = load_report(pos[0]);
+    const JsonValue b = load_report(pos[1]);
+    check_schema(a, pos[0]);
+    check_schema(b, pos[1]);
+    const metrics::ReportDiff diff = metrics::diff_reports(a, b);
+    std::cout << metrics::format_diff_console(diff);
+    if (!args.get_flag("no-html")) {
+      const std::string out =
+          pos.size() == 3 ? pos[2] : default_output(pos[1], "_diff");
+      write_html(render_diff_dashboard(a, b, pos[0], pos[1], diff), out);
+      std::cout << "wrote diff dashboard to " << out << '\n';
+    }
+    return 0;
   }
-  const std::string in_path = argv[1];
-  const std::string out_path = argc == 3 ? argv[2] : default_output(in_path);
 
-  const JsonValue doc = metrics::parse_json_file(in_path);
-  const std::string html = render_dashboard(doc);
+  NUSTENCIL_CHECK(pos.size() == 1 || pos.size() == 2,
+                  "usage: nustencil_report <report.json> [<out.html>] | "
+                  "--diff <A.json> <B.json> [<out.html>]");
+  const std::string in_path = pos[0];
+  const std::string out_path =
+      pos.size() == 2 ? pos[1] : default_output(in_path);
 
-  std::ofstream out(out_path);
-  NUSTENCIL_CHECK(out.good(), "nustencil_report: cannot open " + out_path);
-  out << html;
-  NUSTENCIL_CHECK(out.good(), "nustencil_report: write failed for " + out_path);
+  const JsonValue doc = load_report(in_path);
+  check_schema(doc, in_path);
+  write_html(render_dashboard(doc, args.get("trajectory")), out_path);
   std::cout << "wrote dashboard to " << out_path << '\n';
   return 0;
 } catch (const std::exception& e) {
