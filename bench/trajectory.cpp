@@ -24,6 +24,10 @@ int main(int argc, char** argv) try {
   args.add_option("regress", "fresh bench/regress output to fold in", "");
   args.add_option("kernel", "optional bench/kernel_report output to fold in",
                   "");
+  args.add_option("validate",
+                  "optional bench/validate_model output to fold in "
+                  "(informational, never gated)",
+                  "");
   args.add_option("out", "write the appended database here (default: --db)",
                   "");
   args.add_option("window", "trailing entries per metric for the gate", "5");
@@ -46,6 +50,9 @@ int main(int argc, char** argv) try {
       metrics::entry_from_regress(metrics::parse_json_file(regress_path));
   if (const std::string kernel = args.get("kernel"); !kernel.empty())
     metrics::merge_kernel_report(candidate, metrics::parse_json_file(kernel));
+  if (const std::string validate = args.get("validate"); !validate.empty())
+    metrics::merge_validate_model(candidate,
+                                  metrics::parse_json_file(validate));
 
   metrics::TrajectoryDb db = metrics::load_trajectory(args.get("db"));
   std::cout << "trajectory: " << db.entries.size() << " historical entr"

@@ -1,0 +1,171 @@
+#include "hwc/backend.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace nustencil::hwc {
+
+#if defined(__linux__)
+namespace {
+
+/// type/config pair of the perf_event_attr for one Event.
+struct PerfId {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+PerfId perf_id(Event e) {
+  switch (e) {
+    case Event::Cycles:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES};
+    case Event::Instructions:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS};
+    case Event::CacheReferences:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES};
+    case Event::CacheMisses:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES};
+    case Event::StalledCycles:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND};
+    case Event::TaskClock:
+      return {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK};
+    case Event::PageFaults:
+      return {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS};
+    case Event::kCount: break;
+  }
+  return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES};
+}
+
+class RealBackend final : public SyscallBackend {
+ public:
+  const char* name() const override { return "perf_event_open"; }
+  bool supported() const override { return true; }
+
+  int open(Event event, int group_fd) override {
+    perf_event_attr attr{};
+    attr.size = sizeof(attr);
+    const PerfId id = perf_id(event);
+    attr.type = id.type;
+    attr.config = id.config;
+    // Counting mode, user space only (paranoid=2 still allows that),
+    // grouped read format with the enable/run times the multiplexing
+    // scaling factor is derived from.  Only the leader starts disabled:
+    // siblings inherit the leader's enable state, so one ioctl per
+    // group starts and stops everything atomically.
+    attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+    attr.disabled = group_fd < 0 ? 1 : 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    const long fd = ::syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                              /*cpu=*/-1, group_fd, /*flags=*/0UL);
+    return fd >= 0 ? static_cast<int>(fd) : -errno;
+  }
+
+  int enable(int leader_fd) override {
+    return ::ioctl(leader_fd, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) == 0
+               ? 0
+               : -errno;
+  }
+
+  int disable(int leader_fd) override {
+    return ::ioctl(leader_fd, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP) == 0
+               ? 0
+               : -errno;
+  }
+
+  int read_group(int leader_fd, int n_members, GroupReading& out) override {
+    // Layout under PERF_FORMAT_GROUP|TOTAL_TIME_{ENABLED,RUNNING}:
+    // { nr, time_enabled, time_running, value[nr] }.
+    std::vector<std::uint64_t> buf(3 + static_cast<std::size_t>(n_members));
+    const ssize_t want =
+        static_cast<ssize_t>(buf.size() * sizeof(std::uint64_t));
+    const ssize_t got = ::read(leader_fd, buf.data(), buf.size() * sizeof(std::uint64_t));
+    if (got < 0) return -errno;
+    if (got != want || buf[0] != static_cast<std::uint64_t>(n_members))
+      return -EIO;
+    out.time_enabled = buf[1];
+    out.time_running = buf[2];
+    out.values.assign(buf.begin() + 3, buf.end());
+    return 0;
+  }
+
+  void close(int fd) override { ::close(fd); }
+
+  int paranoid_level() const override {
+    std::ifstream in("/proc/sys/kernel/perf_event_paranoid");
+    int level = -1;
+    if (in >> level) return level;
+    return -1;
+  }
+};
+
+}  // namespace
+
+SyscallBackend& real_backend() {
+  static RealBackend backend;
+  return backend;
+}
+
+#else  // !__linux__
+
+namespace {
+
+/// Non-Linux stub: reports itself unsupported so Mode::On refuses up
+/// front and Mode::Auto records a clean "no backend" degradation.
+class StubBackend final : public SyscallBackend {
+ public:
+  const char* name() const override { return "none"; }
+  bool supported() const override { return false; }
+  int open(Event, int) override { return -ENOSYS; }
+  int enable(int) override { return -ENOSYS; }
+  int disable(int) override { return -ENOSYS; }
+  int read_group(int, int, GroupReading&) override { return -ENOSYS; }
+  void close(int) override {}
+  int paranoid_level() const override { return -1; }
+};
+
+}  // namespace
+
+SyscallBackend& real_backend() {
+  static StubBackend backend;
+  return backend;
+}
+
+#endif
+
+std::string errno_reason(int err, int paranoid) {
+  const int e = err < 0 ? -err : err;
+  switch (e) {
+    case EACCES:
+    case EPERM:
+      if (paranoid >= 0)
+        return "permission denied (perf_event_paranoid=" +
+               std::to_string(paranoid) +
+               " forbids unprivileged counters; lower it or grant "
+               "CAP_PERFMON)";
+      return "permission denied (insufficient privileges for "
+             "perf_event_open)";
+    case ENOSYS:
+      return "perf_event_open not available (kernel without perf support "
+             "or a seccomp filter — common inside containers)";
+    case ENOENT:
+    case ENODEV:
+    case EOPNOTSUPP:
+      return "event not supported on this CPU/PMU (virtual machines "
+             "usually expose no vPMU)";
+    case ENOSPC:
+      return "out of hardware counter slots on this PMU";
+    default:
+      return std::string("perf_event_open failed: ") + std::strerror(e);
+  }
+}
+
+}  // namespace nustencil::hwc

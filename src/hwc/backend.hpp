@@ -1,0 +1,78 @@
+// Pluggable perf_event_open syscall surface.
+//
+// Everything the counter groups need from the kernel goes through this
+// interface: open a counter on the calling thread, enable/disable a
+// group, do one grouped read, close.  The real implementation wraps
+// syscall(SYS_perf_event_open, ...) and is compiled on Linux only; a
+// programmable fake (fake_backend.hpp) implements the same surface so
+// the group logic, the scaling math and the degraded paths are unit
+// tested on machines where perf itself is forbidden.
+//
+// Error reporting convention: calls that can fail return 0/fd on success
+// and -errno on failure, never throw — counter unavailability is an
+// expected state (containers, perf_event_paranoid, missing vPMU), not an
+// exception.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hwc/events.hpp"
+
+namespace nustencil::hwc {
+
+/// One grouped read: the group's enable/run times (for the multiplexing
+/// scaling factor) plus the member values in open order.
+struct GroupReading {
+  std::uint64_t time_enabled = 0;
+  std::uint64_t time_running = 0;
+  std::vector<std::uint64_t> values;
+};
+
+class SyscallBackend {
+ public:
+  virtual ~SyscallBackend() = default;
+
+  /// Short name stamped into the report ("perf_event_open", "fake").
+  virtual const char* name() const = 0;
+
+  /// False when this build has no counter syscall at all (non-Linux
+  /// stub).  --hw-counters=on refuses to run against such a backend;
+  /// runtime failures on a supported backend degrade instead.
+  virtual bool supported() const = 0;
+
+  /// Opens a counter for `event` bound to the *calling thread* (pid=0,
+  /// cpu=-1 semantics).  group_fd = -1 starts a new group whose leader
+  /// the returned fd becomes; otherwise the fd joins that group.  Every
+  /// fd uses the grouped read format with total time enabled/running.
+  /// Returns the fd (>= 0) or -errno.
+  virtual int open(Event event, int group_fd) = 0;
+
+  /// Enables / disables `leader_fd` and its whole group.  Returns 0 or
+  /// -errno.
+  virtual int enable(int leader_fd) = 0;
+  virtual int disable(int leader_fd) = 0;
+
+  /// Reads `leader_fd`'s group (`n_members` counters, leader included).
+  /// Returns 0 or -errno.
+  virtual int read_group(int leader_fd, int n_members, GroupReading& out) = 0;
+
+  virtual void close(int fd) = 0;
+
+  /// Value of /proc/sys/kernel/perf_event_paranoid, or -1 when
+  /// unreadable (non-Linux, masked /proc).
+  virtual int paranoid_level() const = 0;
+};
+
+/// The process-wide real backend (perf_event_open on Linux, an
+/// unsupported stub elsewhere).
+SyscallBackend& real_backend();
+
+/// Human explanation of an -errno open failure, folding in the paranoid
+/// level where it is the likely cause ("perf_event_paranoid=2 forbids
+/// unprivileged access", "event not supported by this PMU — VM without a
+/// vPMU?", "perf_event_open not available — ENOSYS/seccomp").
+std::string errno_reason(int err, int paranoid);
+
+}  // namespace nustencil::hwc

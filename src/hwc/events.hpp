@@ -1,0 +1,78 @@
+// The hardware counter event vocabulary and the --hw-counters mode.
+//
+// Every event this subsystem can measure is named here, in one fixed
+// enum, so the CLI parser, the perf_event_open backend, the fake test
+// backend and the run-report serializer agree on the set by
+// construction.  Each event also maps onto a dedicated trace::SpanCounter
+// slot, which is how measured deltas ride the same per-span attribution
+// path (and the same sum-exactly-to-totals guarantee) as the simulated
+// counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace nustencil::hwc {
+
+/// The measurable events, in slot order.  The first five are the classic
+/// PMU group of the stencil literature (cycles/instructions/cache
+/// refs+misses/stalls); the last two are kernel software events, which
+/// remain countable on VMs and containers without a virtualised PMU —
+/// they are what keeps the real-backend path testable on CI runners.
+enum class Event : std::uint8_t {
+  Cycles = 0,       ///< PERF_COUNT_HW_CPU_CYCLES
+  Instructions,     ///< PERF_COUNT_HW_INSTRUCTIONS
+  CacheReferences,  ///< PERF_COUNT_HW_CACHE_REFERENCES (LLC-ish accesses)
+  CacheMisses,      ///< PERF_COUNT_HW_CACHE_MISSES (LLC-ish misses)
+  StalledCycles,    ///< PERF_COUNT_HW_STALLED_CYCLES_BACKEND (often absent)
+  TaskClock,        ///< PERF_COUNT_SW_TASK_CLOCK (ns on-CPU, software)
+  PageFaults,       ///< PERF_COUNT_SW_PAGE_FAULTS (software)
+  kCount
+};
+
+inline constexpr int kNumEvents = static_cast<int>(Event::kCount);
+
+/// Canonical CLI/report spelling, e.g. "cache-misses".
+const char* event_name(Event e);
+
+/// True for software events (countable without a PMU).
+bool event_is_software(Event e);
+
+/// True for events whose absence should not degrade the run status:
+/// stalled-cycles is missing from many PMUs, so the default set requests
+/// it opportunistically.
+bool event_is_optional(Event e);
+
+/// Case-insensitive parse; '-' and '_' are interchangeable.  Throws
+/// Error naming the offending value and the accepted spellings.
+Event parse_event(const std::string& name);
+
+/// Parses a comma-separated event list ("cycles,cache-misses").  Throws
+/// on unknown names and on duplicates; an empty string is an error (use
+/// default_events() for the default set).
+std::vector<Event> parse_event_list(const std::string& csv);
+
+/// The default measurement set: cycles, instructions, cache-references,
+/// cache-misses, plus stalled-cycles opportunistically.
+const std::vector<Event>& default_events();
+
+/// The trace::SpanCounter slot that carries this event's per-span delta.
+trace::SpanCounter event_slot(Event e);
+
+/// --hw-counters mode.  Off is the default and must cost nothing: no
+/// syscalls, no probe, no sampler slot writes.  Auto measures what the
+/// host offers and records why when it offers nothing; On is Auto plus a
+/// loud warning on degradation (and a hard error when the build has no
+/// backend at all).
+enum class Mode : std::uint8_t { Off = 0, Auto, On };
+
+const char* mode_name(Mode m);
+
+/// Case-insensitive parse of "auto|on|off"; throws Error listing the
+/// accepted values otherwise.
+Mode parse_mode(const std::string& name);
+
+}  // namespace nustencil::hwc

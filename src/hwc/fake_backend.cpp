@@ -1,0 +1,137 @@
+#include "hwc/fake_backend.hpp"
+
+#include <cerrno>
+
+namespace nustencil::hwc {
+
+void FakeBackend::set_unavailable(Event event, int err) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (err == 0)
+    fail_open_.erase(event);
+  else
+    fail_open_[event] = err;
+}
+
+void FakeBackend::fail_all(int err) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int i = 0; i < kNumEvents; ++i)
+    fail_open_[static_cast<Event>(i)] = err;
+}
+
+void FakeBackend::set_increment(Event event, std::uint64_t per_read) {
+  std::lock_guard<std::mutex> lock(mu_);
+  increment_[event] = per_read;
+}
+
+void FakeBackend::set_initial_value(Event event, std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  initial_value_[event] = value;
+}
+
+void FakeBackend::set_time_advance(std::uint64_t enabled_per_read,
+                                   std::uint64_t running_per_read) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_per_read_ = enabled_per_read;
+  running_per_read_ = running_per_read;
+}
+
+int FakeBackend::total_opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_opens_;
+}
+
+int FakeBackend::open_fds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(counters_.size());
+}
+
+int FakeBackend::total_reads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_reads_;
+}
+
+std::uint64_t FakeBackend::increment_of(Event e) const {
+  const auto it = increment_.find(e);
+  if (it != increment_.end()) return it->second;
+  // Distinct per-event primes, so a slot mixup changes some total.
+  static constexpr std::uint64_t kDefaults[kNumEvents] = {101, 103, 107, 109,
+                                                          113, 127, 131};
+  return kDefaults[static_cast<int>(e)];
+}
+
+int FakeBackend::open(Event event, int group_fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto fail = fail_open_.find(event);
+  if (fail != fail_open_.end()) return -fail->second;
+  if (group_fd >= 0 && groups_.find(group_fd) == groups_.end()) return -EBADF;
+  const int fd = next_fd_++;
+  Counter c;
+  c.event = event;
+  const auto init = initial_value_.find(event);
+  if (init != initial_value_.end()) c.value = init->second;
+  counters_[fd] = c;
+  if (group_fd < 0) {
+    groups_[fd].member_fds.push_back(fd);
+  } else {
+    groups_[group_fd].member_fds.push_back(fd);
+  }
+  ++total_opens_;
+  return fd;
+}
+
+int FakeBackend::enable(int leader_fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = groups_.find(leader_fd);
+  if (it == groups_.end()) return -EBADF;
+  it->second.enabled = true;
+  return 0;
+}
+
+int FakeBackend::disable(int leader_fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = groups_.find(leader_fd);
+  if (it == groups_.end()) return -EBADF;
+  it->second.enabled = false;
+  return 0;
+}
+
+int FakeBackend::read_group(int leader_fd, int n_members, GroupReading& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = groups_.find(leader_fd);
+  if (it == groups_.end()) return -EBADF;
+  Group& g = it->second;
+  if (static_cast<int>(g.member_fds.size()) != n_members) return -EIO;
+  ++total_reads_;
+  if (g.enabled) {
+    // Work "happens" between reads: every enabled read ticks the
+    // counters and the clock, unsigned arithmetic so values wrap like
+    // the kernel's do.
+    g.time_enabled += enabled_per_read_;
+    g.time_running += running_per_read_;
+    for (const int fd : g.member_fds)
+      counters_[fd].value += increment_of(counters_[fd].event);
+  }
+  out.time_enabled = g.time_enabled;
+  out.time_running = g.time_running;
+  out.values.clear();
+  for (const int fd : g.member_fds) out.values.push_back(counters_[fd].value);
+  return 0;
+}
+
+void FakeBackend::close(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.erase(fd);
+  const auto leader = groups_.find(fd);
+  if (leader != groups_.end()) {
+    groups_.erase(leader);
+    return;
+  }
+  for (auto& [lead, g] : groups_)
+    for (auto it = g.member_fds.begin(); it != g.member_fds.end(); ++it)
+      if (*it == fd) {
+        g.member_fds.erase(it);
+        return;
+      }
+}
+
+}  // namespace nustencil::hwc

@@ -1,0 +1,94 @@
+// Programmable in-memory SyscallBackend for tests.
+//
+// The fake advances each counter by a per-event increment on every
+// grouped read while the group is enabled, so a span that samples at
+// both ends sees a deterministic delta and the sum-to-totals invariant
+// can be asserted exactly.  Failure injection (per-event or global
+// -errno on open), multiplexing (independent time_enabled /
+// time_running advances) and wrap-around (arbitrary initial values near
+// UINT64_MAX) cover the degraded paths without any perf permissions.
+//
+// All entry points are mutex-protected: the worker team opens, reads
+// and closes counters concurrently from its own threads, exactly like
+// the real backend.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "hwc/backend.hpp"
+
+namespace nustencil::hwc {
+
+class FakeBackend final : public SyscallBackend {
+ public:
+  // -- test configuration (set up before the run) --
+
+  /// open() of `event` fails with -err (0 restores availability).
+  void set_unavailable(Event event, int err);
+
+  /// Every open() fails with -err (a fully degraded host).
+  void fail_all(int err);
+
+  /// Counter advance per enabled grouped read (default: distinct
+  /// per-event primes so slot mixups show up as wrong totals).
+  void set_increment(Event event, std::uint64_t per_read);
+
+  /// Initial value future opens of `event` start from (wrap tests pass
+  /// values near UINT64_MAX).
+  void set_initial_value(Event event, std::uint64_t value);
+
+  /// time_enabled / time_running advance per enabled read.  Equal values
+  /// (the default 1000/1000) mean no multiplexing; running < enabled
+  /// yields a scaling factor > 1.
+  void set_time_advance(std::uint64_t enabled_per_read,
+                        std::uint64_t running_per_read);
+
+  void set_paranoid(int level) { paranoid_ = level; }
+
+  // -- introspection --
+  int total_opens() const;  ///< successful open() calls so far
+  int open_fds() const;     ///< currently open counters
+  int total_reads() const;  ///< read_group() calls so far
+
+  // -- SyscallBackend --
+  const char* name() const override { return "fake"; }
+  bool supported() const override { return true; }
+  int open(Event event, int group_fd) override;
+  int enable(int leader_fd) override;
+  int disable(int leader_fd) override;
+  int read_group(int leader_fd, int n_members, GroupReading& out) override;
+  void close(int fd) override;
+  int paranoid_level() const override { return paranoid_; }
+
+ private:
+  struct Counter {
+    Event event = Event::Cycles;
+    std::uint64_t value = 0;
+  };
+  struct Group {
+    std::vector<int> member_fds;  ///< leader first, open order
+    bool enabled = false;
+    std::uint64_t time_enabled = 0;
+    std::uint64_t time_running = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<int, Counter> counters_;
+  std::map<int, Group> groups_;  ///< keyed by leader fd
+  std::map<Event, int> fail_open_;
+  std::map<Event, std::uint64_t> increment_;
+  std::map<Event, std::uint64_t> initial_value_;
+  std::uint64_t enabled_per_read_ = 1000;
+  std::uint64_t running_per_read_ = 1000;
+  int paranoid_ = 2;
+  int next_fd_ = 100;
+  int total_opens_ = 0;
+  int total_reads_ = 0;
+
+  std::uint64_t increment_of(Event e) const;
+};
+
+}  // namespace nustencil::hwc

@@ -1,0 +1,94 @@
+#include "hwc/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace nustencil::hwc {
+namespace {
+
+/// Ranks with average ranks for ties (1-based; the base cancels in the
+/// correlation).
+std::vector<double> ranks(const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return x[a] < x[b]; });
+  std::vector<double> r(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && x[order[j + 1]] == x[order[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) r[order[k]] = avg;
+    i = j + 1;
+  }
+  return r;
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  const std::size_t n = x.size();
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace
+
+double spearman(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  return pearson(ranks(x), ranks(y));
+}
+
+HwRunStats::Validation validate_against_simulation(const trace::Trace& trace,
+                                                   std::size_t max_points) {
+  HwRunStats::Validation v;
+  // The simulated side of each pair is read at one fixed level — the
+  // deepest with any activity in the whole trace — so every span is
+  // ranked against the same counter.
+  int deepest = -1;
+  std::vector<double> sim, hw;
+  for (int tid = 0; tid < trace.num_threads(); ++tid)
+    for (const trace::Event& e : trace.thread(tid)->events())
+      if (e.phase == trace::Phase::Tile && e.has_counters)
+        deepest = std::max(deepest, e.counters.deepest_level());
+  if (deepest < 0) {
+    v.status = "no simulated cache activity on any span";
+    return v;
+  }
+  for (int tid = 0; tid < trace.num_threads(); ++tid)
+    for (const trace::Event& e : trace.thread(tid)->events()) {
+      if (e.phase != trace::Phase::Tile || !e.has_counters) continue;
+      sim.push_back(static_cast<double>(e.counters.level_misses(deepest)));
+      hw.push_back(static_cast<double>(
+          e.counters.at(trace::SpanCounter::HwCacheMisses)));
+    }
+  v.n = static_cast<int>(sim.size());
+  if (v.n < 2) {
+    v.status = "fewer than two attributed spans";
+    return v;
+  }
+  v.spearman = spearman(sim, hw);
+  v.status = "ok";
+  const std::size_t stride =
+      sim.size() <= max_points ? 1 : (sim.size() + max_points - 1) / max_points;
+  for (std::size_t i = 0; i < sim.size(); i += stride)
+    v.points.push_back({sim[i], hw[i]});
+  return v;
+}
+
+}  // namespace nustencil::hwc

@@ -223,6 +223,69 @@ void write_prof(JsonWriter& w, const prof::ProfSummary* p) {
   w.end_object();
 }
 
+void write_hw_event_map(JsonWriter& w, const char* key,
+                        const std::array<std::uint64_t, hwc::kNumEvents>& v,
+                        const hwc::HwRunStats& h) {
+  w.key(key).begin_object();
+  for (const auto& e : h.events)
+    if (e.available)
+      w.kv(hwc::event_name(e.event), v[static_cast<std::size_t>(e.event)]);
+  w.end_object();
+}
+
+void write_hw(JsonWriter& w, const hwc::HwRunStats* h) {
+  w.begin_object();
+  w.kv("enabled", h != nullptr && h->enabled);
+  if (h && h->enabled) {
+    w.kv("mode", hwc::mode_name(h->mode));
+    w.kv("backend", h->backend);
+    w.kv("status", h->status);
+    w.kv("reason", h->reason);
+    w.kv("paranoid", h->paranoid);
+    w.key("events").begin_array();
+    for (const auto& e : h->events) {
+      w.begin_object();
+      w.kv("name", hwc::event_name(e.event));
+      w.kv("available", e.available);
+      w.kv("optional", e.optional_event);
+      if (!e.available) w.kv("reason", e.reason);
+      w.end_object();
+    }
+    w.end_array();
+    // Raw counts only: `total` is the whole enabled-region read,
+    // `attributed` the exact sum of Tile/Init span deltas.  The scaling
+    // factor is reported next to them, never multiplied in.
+    w.key("threads").begin_array();
+    for (const auto& t : h->threads) {
+      w.begin_object();
+      w.kv("scaling", t.scaling);
+      w.kv("multiplexed", t.multiplexed);
+      write_hw_event_map(w, "total", t.total, *h);
+      write_hw_event_map(w, "attributed", t.attributed, *h);
+      w.end_object();
+    }
+    w.end_array();
+    write_hw_event_map(w, "totals", h->totals, *h);
+    write_hw_event_map(w, "attributed", h->attributed, *h);
+    w.key("validation").begin_object();
+    if (h->validation) {
+      w.kv("status", h->validation->status);
+      w.kv("n", h->validation->n);
+      w.kv("rank_correlation", h->validation->spearman);
+      w.key("points").begin_array();
+      for (const auto& p : h->validation->points) {
+        w.begin_object();
+        w.kv("sim_misses", p[0]);
+        w.kv("hw_misses", p[1]);
+        w.end_object();
+      }
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_object();
+}
+
 void write_model(JsonWriter& w, const std::optional<ModelSection>& m) {
   w.begin_object();
   if (m) {
@@ -292,6 +355,8 @@ void write_run_report(const RunReport& report, std::ostream& os) {
   write_sched(w, report.sched);
   w.key("prof");
   write_prof(w, report.prof);
+  w.key("hw");
+  write_hw(w, report.hw);
   w.key("model");
   write_model(w, report.model);
   w.key("stats");
@@ -351,6 +416,16 @@ void export_run_to_registry(Registry& reg, const RunReport& report) {
           .set(total == 0 ? 1.0
                           : static_cast<double>(lv.hits) / static_cast<double>(total));
     }
+  }
+  if (report.hw && report.hw->enabled && report.hw->any_available()) {
+    for (const auto& e : report.hw->events)
+      if (e.available)
+        reg.gauge(std::string("hw/") + hwc::event_name(e.event))
+            .set(static_cast<double>(
+                report.hw->totals[static_cast<std::size_t>(e.event)]));
+    reg.gauge("hw/scaling_max").set(report.hw->max_scaling());
+    if (report.hw->validation && report.hw->validation->status == "ok")
+      reg.gauge("hw/rank_correlation").set(report.hw->validation->spearman);
   }
 }
 

@@ -14,6 +14,7 @@
 
 #include "cachesim/hierarchy.hpp"
 #include "common/types.hpp"
+#include "hwc/group.hpp"
 #include "metrics/registry.hpp"
 #include "metrics/stats.hpp"
 #include "numa/traffic.hpp"
@@ -77,6 +78,7 @@ struct RunReport {
   trace::PhaseBreakdown phases;
   sched::SchedStats sched;  ///< enabled only under a stealing schedule
   const prof::ProfSummary* prof = nullptr;  ///< null without --trace/--report profiling
+  const hwc::HwRunStats* hw = nullptr;  ///< null / disabled without --hw-counters
   std::optional<ModelSection> model;
   std::optional<StatsSection> stats;  ///< set when the run had --reps > 1
   const Registry* registry = nullptr;  ///< counters/gauges/histograms

@@ -19,9 +19,13 @@ namespace nustencil::metrics {
 /// roofline scatter).
 /// v4: added the top-level "stats" section (multi-rep robust summaries
 /// written when the CLI runs with --reps=N; empty object otherwise).
+/// v5: added the top-level "hw" section (measured hardware counters:
+/// per-thread raw totals and attributed span sums, multiplexing scaling
+/// factors, per-event availability, degradation status + reason, and
+/// the simulated-vs-measured validation when both sides ran).
 /// Readers (nustencil_report, metrics/diff) stay forward-tolerant: any
 /// schema >= 1 parses, absent sections are skipped.
-inline constexpr int kRunReportSchemaVersion = 4;
+inline constexpr int kRunReportSchemaVersion = 5;
 
 /// The fixed leading CSV columns of the nustencil CLI summary table
 /// (before the detail_* and phase columns).

@@ -123,8 +123,22 @@ bool higher_is_better(const std::string& metric) {
              0;
 }
 
+void merge_validate_model(TrajectoryEntry& entry,
+                          const JsonValue& validate_doc) {
+  const JsonValue* status = validate_doc.find("status");
+  if (!status || status->str() != "ok") return;  // degraded host: nothing
+  if (const JsonValue* r = validate_doc.find("rank_correlation"))
+    entry.metrics.emplace_back("validate/rank_correlation", r->num());
+  if (const JsonValue* n = validate_doc.find("n_spans"))
+    entry.metrics.emplace_back("validate/n_spans", n->num());
+}
+
 bool metric_is_gated(const std::string& metric) {
-  return higher_is_better(metric);  // "/seconds" is informational only
+  // "/seconds" is informational only, and "validate/" correlations are
+  // host-PMU-dependent (absent entirely on degraded runners) — tracked
+  // for trend visibility, never gated.
+  if (metric.rfind("validate/", 0) == 0) return false;
+  return higher_is_better(metric);
 }
 
 double metric_min_effect(const std::string& metric, double base_min_effect) {

@@ -49,6 +49,14 @@ TrajectoryEntry entry_from_regress(const JsonValue& regress_doc);
 /// ("kernel/speedup_best_vs_scalar", "kernel/speedup_specialized_vs_generic").
 void merge_kernel_report(TrajectoryEntry& entry, const JsonValue& kernel_doc);
 
+/// Folds a bench/validate_model document's simulated-vs-measured rank
+/// correlation into `entry` ("validate/rank_correlation", plus the span
+/// count).  Informational only — never gated: the correlation depends on
+/// the host's PMU and is absent entirely on degraded hosts, so gating it
+/// would make CI outcomes depend on runner hardware.  A degraded
+/// document (no correlation) folds nothing.
+void merge_validate_model(TrajectoryEntry& entry, const JsonValue& validate_doc);
+
 /// True for metrics where larger is better (throughput, locality,
 /// speedups); wall-clock "/seconds" metrics are lower-is-better.
 bool higher_is_better(const std::string& metric);

@@ -24,6 +24,7 @@ void Profiler::sample(int tid, trace::CounterSet& out) const {
             2 * static_cast<std::size_t>(l)] = lt.misses;
     }
   }
+  if (hw_) hw_(tid, out);
 }
 
 }  // namespace nustencil::prof

@@ -30,6 +30,12 @@ class Profiler : public trace::CounterSampler {
   /// library independent of src/core.
   using UpdatesFn = std::function<std::uint64_t(int tid)>;
 
+  /// Measured hardware counters of thread `tid`, written into the
+  /// CounterSet's hw slots (src/hwc/ThreadSet::sample wrapped by the run
+  /// support).  A std::function keeps this library independent of
+  /// src/hwc, same as the updates source.
+  using HwFn = std::function<void(int tid, trace::CounterSet& out)>;
+
   void set_updates_source(UpdatesFn fn) { updates_ = std::move(fn); }
   void set_traffic_source(const numa::TrafficRecorder* traffic) {
     traffic_ = traffic;
@@ -37,6 +43,7 @@ class Profiler : public trace::CounterSampler {
   void set_cache_source(const cachesim::SharedHierarchy* cache) {
     cache_ = cache;
   }
+  void set_hw_source(HwFn fn) { hw_ = std::move(fn); }
 
   /// Samples the cumulative counters of thread `tid`.  Sources that are
   /// not attached leave their slots zero, so their per-span deltas are
@@ -45,6 +52,7 @@ class Profiler : public trace::CounterSampler {
 
  private:
   UpdatesFn updates_;
+  HwFn hw_;
   const numa::TrafficRecorder* traffic_ = nullptr;
   const cachesim::SharedHierarchy* cache_ = nullptr;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "hwc/validate.hpp"
 
 namespace nustencil::schemes {
 
@@ -69,7 +70,17 @@ RunSupport::RunSupport(core::Problem& problem, const RunConfig& config)
     executors_.back()->set_trace(recorder(tid));
   }
 
-  if (config.profile_spans && trace_) {
+  if (config.hw_mode != hwc::Mode::Off) {
+    hwc::SyscallBackend& backend =
+        config.hw_backend ? *config.hw_backend : hwc::real_backend();
+    hw_.emplace(backend, config.hw_mode, config.hw_events, config.num_threads);
+  }
+
+  // The per-span sampler is wanted for explicit profiling and whenever
+  // hardware counters measure into a trace (measured deltas ride the
+  // same sampler path as the simulated ones).
+  const bool hw_sampling = hw_ && hw_->active();
+  if ((config.profile_spans || hw_sampling) && trace_) {
     profiler_.emplace();
     profiler_->set_updates_source([this](int tid) {
       return static_cast<std::uint64_t>(
@@ -77,6 +88,9 @@ RunSupport::RunSupport(core::Problem& problem, const RunConfig& config)
     });
     if (recorder_) profiler_->set_traffic_source(&*recorder_);
     if (config.cache_sim) profiler_->set_cache_source(config.cache_sim);
+    if (hw_sampling)
+      profiler_->set_hw_source(
+          [this](int tid, trace::CounterSet& out) { hw_->sample(tid, out); });
     trace_->set_sampler(&*profiler_);
     trace_->set_flops_per_update(problem.stencil().flops());
   }
@@ -90,12 +104,18 @@ RunSupport::~RunSupport() {
 
 void RunSupport::run_workers(const std::function<void(int)>& body) {
   team_->run([&](int tid) {
+    // Counters stay enabled for the whole parallel region (one ioctl
+    // pair per region, not per span); the profiler samples cumulative
+    // values at span boundaries in between.
+    if (hw_) hw_->attach(tid);
     try {
       body(tid);
     } catch (...) {
       abort_.trigger();
+      if (hw_) hw_->detach(tid);
       throw;
     }
+    if (hw_) hw_->detach(tid);
   });
 }
 
@@ -168,8 +188,35 @@ RunResult RunSupport::finish(const std::string& scheme_name, double seconds) {
   r.updates = total_updates();
   if (recorder_) r.traffic = recorder_->collect();
   if (trace_) r.phases = trace_->breakdown();
-  if (profiler_ && trace_)
+  if (profiler_ && trace_ && config_->profile_spans)
     r.prof = prof::summarize(*trace_, trace_->flops_per_update());
+  if (hw_) {
+    r.hw = hw_->stats();
+    if (trace_) {
+      // Attributed totals: the exact out-of-ring sums of every Tile and
+      // Init span delta — the same invariant the simulated counters
+      // carry.  The remainder against `total` is real unattributed time
+      // (barriers, spin-waits, scheduling) and stays visible as such.
+      for (int tid = 0; tid < config_->num_threads &&
+                        tid < static_cast<int>(r.hw.threads.size());
+           ++tid) {
+        const trace::ThreadRecorder* rec = trace_->thread(tid);
+        const trace::CounterSet& tile = rec->counter_total(trace::Phase::Tile);
+        const trace::CounterSet& init = rec->counter_total(trace::Phase::Init);
+        for (int ev = 0; ev < hwc::kNumEvents; ++ev) {
+          const trace::SpanCounter slot =
+              hwc::event_slot(static_cast<hwc::Event>(ev));
+          const std::uint64_t sum = tile.at(slot) + init.at(slot);
+          r.hw.threads[static_cast<std::size_t>(tid)]
+              .attributed[static_cast<std::size_t>(ev)] = sum;
+          r.hw.attributed[static_cast<std::size_t>(ev)] += sum;
+        }
+      }
+      if (config_->cache_sim && trace_->events_per_thread() > 0 &&
+          r.hw.available(hwc::Event::CacheMisses))
+        r.hw.validation = hwc::validate_against_simulation(*trace_);
+    }
+  }
   if (checker_) checker_->check_all_at(config_->timesteps);
   if (pool_) {
     r.sched = pool_->stats();

@@ -9,6 +9,7 @@
 
 #include "common/timer.hpp"
 #include "core/executor.hpp"
+#include "hwc/group.hpp"
 #include "core/reference.hpp"
 #include "numa/page_table.hpp"
 #include "numa/traffic.hpp"
@@ -92,6 +93,7 @@ class RunSupport {
   std::optional<numa::VirtualTopology> topo_;
   std::optional<numa::TrafficRecorder> recorder_;
   std::optional<prof::Profiler> profiler_;  ///< per-span counter sampler
+  std::optional<hwc::ThreadSet> hw_;        ///< per-thread perf counter groups
   std::optional<core::DependencyChecker> checker_;
   std::vector<std::unique_ptr<core::Executor>> executors_;
   std::unique_ptr<threading::Team> team_;

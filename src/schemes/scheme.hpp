@@ -13,6 +13,7 @@
 
 #include "cachesim/shared.hpp"
 #include "core/boundary.hpp"
+#include "hwc/group.hpp"
 #include "core/field.hpp"
 #include "core/kernels.hpp"
 #include "metrics/registry.hpp"
@@ -104,6 +105,22 @@ struct RunConfig {
   /// sources (`instrument`, `cache_sim`) the run enables.
   bool profile_spans = false;
 
+  /// Hardware performance counters (src/hwc/): Off (the default) costs
+  /// nothing — no syscalls, no probe; Auto measures what the host's PMU
+  /// offers and records the degradation reason when it offers nothing;
+  /// On is Auto with a loud warning expected from the caller when the
+  /// probe degrades.  Measured per-span deltas additionally require a
+  /// trace (they ride the profiler's sampler).
+  hwc::Mode hw_mode = hwc::Mode::Off;
+
+  /// Events to count; empty = hwc::default_events() (cycles,
+  /// instructions, cache-references, cache-misses, stalled-cycles).
+  std::vector<hwc::Event> hw_events;
+
+  /// Counter syscall backend override (tests inject a FakeBackend);
+  /// null uses hwc::real_backend().
+  hwc::SyscallBackend* hw_backend = nullptr;
+
   /// Optional live progress heartbeat (layer, updates/s, locality %).
   /// The caller owns the meter and its interval; the run wires it to the
   /// executors and the schemes' layer loops.  Null disables the hook at
@@ -140,6 +157,11 @@ struct RunResult {
   /// stragglers with verdicts, roofline scatter); `prof.enabled` is false
   /// unless RunConfig::profile_spans was set with a trace.
   prof::ProfSummary prof;
+
+  /// Hardware counter measurements (per-thread raw totals, attributed
+  /// span sums, scaling factors, availability and degradation status);
+  /// `hw.enabled` stays false when RunConfig::hw_mode is Off.
+  hwc::HwRunStats hw;
 
   double gupdates_per_second() const {
     return seconds > 0 ? static_cast<double>(updates) / seconds * 1e-9 : 0.0;

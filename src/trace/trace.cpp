@@ -21,6 +21,13 @@ const char* span_counter_name(SpanCounter c) {
     case SpanCounter::L2Misses: return "l2_misses";
     case SpanCounter::L3Hits: return "l3_hits";
     case SpanCounter::L3Misses: return "l3_misses";
+    case SpanCounter::HwCycles: return "hw_cycles";
+    case SpanCounter::HwInstructions: return "hw_instructions";
+    case SpanCounter::HwCacheRefs: return "hw_cache_refs";
+    case SpanCounter::HwCacheMisses: return "hw_cache_misses";
+    case SpanCounter::HwStalledCycles: return "hw_stalled_cycles";
+    case SpanCounter::HwTaskClock: return "hw_task_clock_ns";
+    case SpanCounter::HwPageFaults: return "hw_page_faults";
     case SpanCounter::kCount: break;
   }
   return "?";
@@ -190,6 +197,10 @@ void write_event_json(std::ostream& os, int tid, const Event& e,
     const double dur_us = static_cast<double>(e.end_ns - e.start_ns) * 1e-3;
     if (c.at(SpanCounter::Updates) > 0 && dur_us > 0.0)
       argd("mups", static_cast<double>(c.at(SpanCounter::Updates)) / dur_us);
+    if (c.at(SpanCounter::HwCycles) > 0 &&
+        c.at(SpanCounter::HwInstructions) > 0)
+      argd("ipc", static_cast<double>(c.at(SpanCounter::HwInstructions)) /
+                      static_cast<double>(c.at(SpanCounter::HwCycles)));
   }
   os << "}}";
 }

@@ -79,6 +79,16 @@ enum class SpanCounter : std::uint8_t {
   L2Misses,
   L3Hits,
   L3Misses,
+  // Measured hardware counters (src/hwc/), one slot per hwc::Event in
+  // the same order.  Zero when hardware counting is off or the event is
+  // unavailable; raw (multiplex-unscaled) counts otherwise.
+  HwCycles,
+  HwInstructions,
+  HwCacheRefs,
+  HwCacheMisses,
+  HwStalledCycles,
+  HwTaskClock,  ///< nanoseconds on-CPU (software event)
+  HwPageFaults,
   kCount
 };
 

@@ -5,6 +5,7 @@
 
 #include "common/args.hpp"
 #include "core/kernels.hpp"
+#include "hwc/events.hpp"
 
 namespace nustencil {
 namespace {
@@ -232,6 +233,62 @@ TEST(ArgParser, BadKernelStoresListsValidValues) {
     const std::string what = e.what();
     EXPECT_NE(what.find("nontemporal"), std::string::npos);
     for (const char* valid : {"auto", "stream", "regular"})
+      EXPECT_NE(what.find(valid), std::string::npos) << valid;
+  }
+}
+
+/// Mirrors the CLI's hardware-counter options exactly: string options,
+/// then hwc::parse_* on the values, like tools/nustencil_cli.cpp does.
+ArgParser make_hw_parser() {
+  ArgParser p("prog", "x");
+  p.add_option("hw-counters", "counter mode", "off");
+  p.add_option("hw-events", "event list", "");
+  return p;
+}
+
+TEST(ArgParser, HwCountersModeIsCaseInsensitive) {
+  for (const char* spelling : {"auto", "Auto", "AUTO", "aUtO"}) {
+    ArgParser p = make_hw_parser();
+    ASSERT_TRUE(parse(p, {"--hw-counters", spelling}));
+    EXPECT_EQ(hwc::parse_mode(p.get("hw-counters")), hwc::Mode::Auto)
+        << spelling;
+  }
+  ArgParser p = make_hw_parser();
+  ASSERT_TRUE(parse(p, {"--hw-counters=ON", "--hw-events=CYCLES,Page_Faults"}));
+  EXPECT_EQ(hwc::parse_mode(p.get("hw-counters")), hwc::Mode::On);
+  const std::vector<hwc::Event> events =
+      hwc::parse_event_list(p.get("hw-events"));
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], hwc::Event::Cycles);
+  EXPECT_EQ(events[1], hwc::Event::PageFaults);
+}
+
+TEST(ArgParser, BadHwCountersModeListsValidValues) {
+  ArgParser p = make_hw_parser();
+  ASSERT_TRUE(parse(p, {"--hw-counters", "yes"}));
+  try {
+    hwc::parse_mode(p.get("hw-counters"));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'yes'"), std::string::npos);
+    for (const char* valid : {"auto", "on", "off"})
+      EXPECT_NE(what.find(valid), std::string::npos) << valid;
+  }
+}
+
+TEST(ArgParser, BadHwEventListsValidValues) {
+  ArgParser p = make_hw_parser();
+  ASSERT_TRUE(parse(p, {"--hw-events", "cycles,branches"}));
+  try {
+    hwc::parse_event_list(p.get("hw-events"));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'branches'"), std::string::npos);
+    for (const char* valid : {"cycles", "instructions", "cache-references",
+                              "cache-misses", "stalled-cycles", "task-clock",
+                              "page-faults"})
       EXPECT_NE(what.find(valid), std::string::npos) << valid;
   }
 }

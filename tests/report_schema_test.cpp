@@ -36,8 +36,9 @@ TEST(Schema, RunReportTopLevelKeysAreGolden) {
   const std::vector<std::string> golden = {
       "schema_version", "generator", "provenance", "config",
       "machine",        "result",    "traffic",    "cache",
-      "phases",         "sched",     "prof",       "model",
-      "stats",          "counters",  "gauges",     "histograms"};
+      "phases",         "sched",     "prof",       "hw",
+      "model",          "stats",     "counters",   "gauges",
+      "histograms"};
   EXPECT_EQ(run_report_top_level_keys(), golden);
 }
 
@@ -46,7 +47,8 @@ TEST(Schema, VersionIsPinned) {
   // v2: top-level "sched" section + config.schedule.
   // v3: top-level "provenance" and "prof" sections.
   // v4: top-level "stats" section (--reps summaries).
-  EXPECT_EQ(kRunReportSchemaVersion, 4);
+  // v5: top-level "hw" section (measured hardware counters).
+  EXPECT_EQ(kRunReportSchemaVersion, 5);
 }
 
 TEST(Schema, EmittedDocumentMatchesDeclaredKeys) {

@@ -19,6 +19,9 @@
 
 #include "common/args.hpp"
 #include "common/provenance.hpp"
+#include "hwc/backend.hpp"
+#include "hwc/events.hpp"
+#include "hwc/group.hpp"
 #include "prof/flamegraph.hpp"
 #include "prof/progress.hpp"
 #include "schemes/explain.hpp"
@@ -235,6 +238,18 @@ int main(int argc, char** argv) try {
                   "time-derived deltas by interval overlap instead of a "
                   "fixed tolerance",
                   "1");
+  args.add_option("hw-counters",
+                  "measure real per-thread PMU counters via perf_event_open: "
+                  "auto (count what the host offers, record why when it "
+                  "offers nothing), on (auto + a loud warning on "
+                  "degradation), or off (the default; no syscalls at all)",
+                  "off");
+  args.add_option("hw-events",
+                  "comma-separated events for --hw-counters (default: "
+                  "cycles,instructions,cache-references,cache-misses,"
+                  "stalled-cycles; the software events task-clock and "
+                  "page-faults count even without a PMU)",
+                  "");
   args.add_option("kernel",
                   "row-kernel policy: auto, scalar, sse2, avx2, fma (not "
                   "bit-exact), or generic (runtime-taps baseline)",
@@ -285,6 +300,20 @@ int main(int argc, char** argv) try {
   const core::StorePolicy kernel_stores =
       core::parse_store_policy(args.get("kernel-stores"));
 
+  const hwc::Mode hw_mode = hwc::parse_mode(args.get("hw-counters"));
+  std::vector<hwc::Event> hw_events;
+  if (!args.get("hw-events").empty()) {
+    NUSTENCIL_CHECK(hw_mode != hwc::Mode::Off,
+                    "--hw-events requires --hw-counters=auto or on");
+    hw_events = hwc::parse_event_list(args.get("hw-events"));
+  }
+  // Runtime unavailability (paranoid level, missing vPMU, seccomp)
+  // degrades gracefully even under `on`; only a build without any
+  // counter backend is rejected up front.
+  NUSTENCIL_CHECK(hw_mode != hwc::Mode::On || hwc::real_backend().supported(),
+                  "--hw-counters=on: this build has no perf_event backend "
+                  "(non-Linux); use auto or off");
+
   // What the executors will ask the kernel engine for (geometry, layout,
   // store policy) — drives --explain and the run report.  The CLI's
   // problems use the dense layout, whose rows are 64B-aligned exactly
@@ -334,6 +363,7 @@ int main(int argc, char** argv) try {
               << trace::describe_observability(trace_path, trace_svg_path,
                                                args.get_flag("phase-metrics"),
                                                trace_buffer)
+              << hwc::describe_hw(hw_mode, hw_events, hwc::real_backend())
               << metrics::describe_report(report_path, want_cache_sim);
     return 0;
   }
@@ -355,6 +385,8 @@ int main(int argc, char** argv) try {
     cfg.pin_threads = args.get_flag("pin");
     cfg.schedule = schedule;
     cfg.machine = machine;
+    cfg.hw_mode = hw_mode;
+    cfg.hw_events = hw_events;
     cfg.seed = static_cast<unsigned>(args.get_long("seed"));
     if (args.get_flag("dirichlet")) cfg.boundary = core::Boundary::dirichlet();
     if (args.get("scheme") == "CATS" || args.get("scheme") == "nuCATS")
@@ -406,6 +438,7 @@ int main(int argc, char** argv) try {
         warm.cache_sim = nullptr;
         warm.progress = nullptr;
         warm.profile_spans = false;
+        warm.hw_mode = hwc::Mode::Off;  // timing reps: no counter syscalls
         warm.collect_phase_metrics = true;
         core::Problem rep_problem(shape, stencil);
         record_rep(schemes::make_scheme(args.get("scheme"))
@@ -427,6 +460,25 @@ int main(int argc, char** argv) try {
     core::Problem problem(shape, stencil);
     const schemes::RunResult result = scheme->run(problem, cfg);
     if (progress) progress->stop();
+    if (result.hw.enabled) {
+      if (result.hw.any_available()) {
+        std::cout << "hw counters (" << result.hw.backend << "):";
+        for (const auto& e : result.hw.events)
+          if (e.available)
+            std::cout << ' ' << hwc::event_name(e.event) << '='
+                      << result.hw.totals[static_cast<std::size_t>(e.event)];
+        if (result.hw.max_scaling() > 1.0)
+          std::cout << " (multiplexed, scaling up to " << result.hw.max_scaling()
+                    << "x — raw counts, not scaled up)";
+        std::cout << '\n';
+      }
+      if (result.hw.status == "degraded") {
+        (hw_mode == hwc::Mode::On ? std::cerr : std::cout)
+            << (hw_mode == hwc::Mode::On ? "warning: --hw-counters=on degraded — "
+                                         : "hw counters degraded — ")
+            << result.hw.reason << '\n';
+      }
+    }
     const double diff = args.get_flag("verify")
                             ? verify_against_reference(problem, shape, stencil, cfg)
                             : std::nan("");
@@ -476,6 +528,7 @@ int main(int argc, char** argv) try {
       rep.machine_conf = args.get("machine");
       rep.sched = result.sched;
       rep.prof = &result.prof;
+      rep.hw = &result.hw;
       rep.machine = machine;
       rep.seconds = result.seconds;
       rep.updates = result.updates;

@@ -17,6 +17,7 @@
 //   nustencil_report run.json dash.html
 //   nustencil_report --diff A.json B.json [diff.html]
 //   nustencil_report --diff A.json B.json --no-html   # console verdicts only
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -277,6 +278,107 @@ std::string prof_section(const JsonValue& doc) {
   return os.str();
 }
 
+std::string hw_events_table(const JsonValue& hw) {
+  std::ostringstream os;
+  os << "<table>\n<tr><th>event</th><th>available</th><th>total</th>"
+        "<th>attributed</th><th>note</th></tr>\n";
+  const JsonValue* totals = hw.find("totals");
+  const JsonValue* attributed = hw.find("attributed");
+  for (const JsonValue& e : hw.at("events").array) {
+    const std::string name = e.at("name").str();
+    const bool available = e.at("available").boolean_value();
+    const JsonValue* tot = available && totals ? totals->find(name) : nullptr;
+    const JsonValue* att =
+        available && attributed ? attributed->find(name) : nullptr;
+    os << "<tr><th>" << report::svg_escape(name) << "</th><td>"
+       << (available ? "yes" : "no") << "</td><td>"
+       << (tot ? report::fmt_num(tot->num()) : std::string("&mdash;"))
+       << "</td><td>"
+       << (att ? report::fmt_num(att->num()) : std::string("&mdash;"))
+       << "</td><td>";
+    if (const JsonValue* why = e.find("reason"))
+      os << report::svg_escape(why->str());
+    else if (e.at("optional").boolean_value())
+      os << "optional";
+    os << "</td></tr>\n";
+  }
+  os << "</table>\n";
+  return os.str();
+}
+
+std::string hw_threads_note(const JsonValue& hw) {
+  const JsonValue* threads = hw.find("threads");
+  if (!threads || !threads->is_array() || threads->array.empty()) return "";
+  double max_scaling = 1.0;
+  bool multiplexed = false;
+  for (const JsonValue& t : threads->array) {
+    max_scaling = std::max(max_scaling, t.at("scaling").num());
+    multiplexed = multiplexed || t.at("multiplexed").boolean_value();
+  }
+  std::ostringstream os;
+  os << "<p>" << threads->array.size() << " thread group(s); ";
+  if (multiplexed)
+    os << "the PMU time-shared counters (max scaling factor "
+       << report::fmt_num(max_scaling)
+       << ") &mdash; counts are raw, never scaled up.";
+  else
+    os << "no multiplexing (every counter ran the whole enabled region).";
+  os << "</p>\n";
+  return os.str();
+}
+
+std::string hw_validation_panel(const JsonValue& hw) {
+  const JsonValue* validation = hw.find("validation");
+  if (!validation || !validation->find("status"))
+    return "<p>No simulated-vs-measured cross-check (needs the cache "
+           "simulator, a trace and a measurable cache-misses event).</p>\n";
+  if (validation->at("status").str() != "ok")
+    return "<p>Cross-check did not run: " +
+           report::svg_escape(validation->at("status").str()) + "</p>\n";
+
+  std::ostringstream os;
+  os << "<p>Spearman rank correlation <b>"
+     << report::fmt_num(validation->at("rank_correlation").num()) << "</b> over "
+     << report::fmt_num(validation->at("n").num())
+     << " Tile spans (simulated misses vs measured cache-misses; ordering "
+        "is the claim &mdash; absolute counts never match).</p>\n";
+  report::ScatterSpec sc;
+  sc.title = "measured vs simulated (one point per sampled tile)";
+  sc.x_label = "simulated cache misses";
+  sc.y_label = "measured cache-misses";
+  sc.class_labels = {"tile span"};
+  for (const JsonValue& p : validation->at("points").array) {
+    report::ScatterPoint pt;
+    pt.x = p.at("sim_misses").num();
+    pt.y = p.at("hw_misses").num();
+    pt.cls = 0;
+    sc.points.push_back(pt);
+  }
+  if (sc.points.empty()) return os.str();
+  return os.str() + report::render_scatter_svg(sc);
+}
+
+std::string hw_section(const JsonValue& doc) {
+  const JsonValue* hw = doc.find("hw");
+  std::ostringstream os;
+  os << "<h2>Hardware counters</h2>\n";
+  if (!hw || !hw->find("enabled") || !hw->at("enabled").boolean_value()) {
+    os << "<p>Hardware counters were off for this run (enable with "
+          "<code>--hw-counters=auto</code>).</p>\n";
+    return os.str();
+  }
+  os << "<p>backend " << report::svg_escape(hw->at("backend").str())
+     << ", status <b>" << report::svg_escape(hw->at("status").str()) << "</b>";
+  if (const JsonValue* reason = hw->find("reason");
+      reason && !reason->str().empty())
+    os << " &mdash; " << report::svg_escape(reason->str());
+  os << "</p>\n";
+  os << panel_or(*hw, hw_events_table, "hw events");
+  os << hw_threads_note(*hw);
+  os << "<h3>Measured vs simulated</h3>\n" << hw_validation_panel(*hw);
+  return os.str();
+}
+
 std::string stats_table(const JsonValue& doc) {
   const JsonValue* stats = doc.find("stats");
   if (!stats || !stats->is_object()) return "";
@@ -448,6 +550,7 @@ std::string render_dashboard(const JsonValue& doc,
   os << "<h2>Roofline</h2>\n" << panel_or(doc, roofline_panel, "model");
   os << "<h2>Cache hierarchy</h2>\n" << panel_or(doc, cache_table, "cache");
   os << prof_section(doc);
+  os << hw_section(doc);
   os << stats_table(doc);
   os << trajectory_section(trajectory_path);
   os << counters_table(doc);
