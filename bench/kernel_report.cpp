@@ -7,7 +7,14 @@
 // scalar baseline — is tracked across PRs and gated in CI.
 //
 //   kernel_report [--edge 64] [--steps N] [--reps R]
-//                 [--min-speedup 1.3] [--out BENCH_kernels.json]
+//                 [--min-speedup 1.3] [--huge-edge auto|N|0]
+//                 [--out BENCH_kernels.json]
+//
+// The huge-domain phase ("huge_domain" in the JSON) times the auto
+// kernel on an LLC-exceeding domain with regular vs auto stores — the
+// size where StorePolicy::Auto engages non-temporal streaming on its
+// own, so the report tracks the payoff the main (cache-resident) phase
+// cannot see.  --huge-edge 0 skips it.
 //
 // Exit status: 0 on success; 1 when a bit-exactness check fails or the
 // best vector kernel misses the --min-speedup floor over scalar.
@@ -138,6 +145,19 @@ bool bitexact_vs_scalar(core::KernelPolicy policy, core::StorePolicy stores,
                      results[0].size() * sizeof(double)) == 0;
 }
 
+/// Smallest edge whose one-sweep working set (read + write field of the
+/// constant 3D 7-point stencil) crosses the StorePolicy::Auto streaming
+/// threshold, rounded up to a full cache line of doubles so the rows
+/// stay 64B-aligned on any host.
+Index auto_huge_edge() {
+  const Index threshold = core::stream_auto_threshold_bytes();
+  Index edge = 8;
+  while (2 * sizeof(double) * edge * edge * edge <
+         static_cast<std::size_t>(threshold))
+    edge += 8;
+  return edge;
+}
+
 bool policy_runnable(core::KernelPolicy policy) {
   using core::KernelIsa;
   switch (policy) {
@@ -166,6 +186,11 @@ int main(int argc, char** argv) try {
                   "bit-exact vector kernel beats scalar by this factor "
                   "(0 = report only)",
                   "0");
+  args.add_option("huge-edge",
+                  "LLC-exceeding domain edge for the streaming-store "
+                  "payoff phase (auto = smallest edge past the streaming "
+                  "threshold, 0 = skip)",
+                  "auto");
   args.add_option("out", "output JSON path", "BENCH_kernels.json");
   if (!args.parse(argc, argv)) return 0;
 
@@ -231,6 +256,31 @@ int main(int argc, char** argv) try {
   const bool exact_stream =
       bitexact_vs_scalar(core::KernelPolicy::Auto, core::StorePolicy::Stream, exact_edge);
 
+  // Huge-domain phase: the edge where StorePolicy::Auto engages
+  // streaming by itself.  Regular stores are the control; auto stores
+  // show the non-temporal payoff (write misses stop costing a read).
+  const Index huge_edge = args.get("huge-edge") == "auto"
+                              ? auto_huge_edge()
+                              : args.get_long("huge-edge");
+  std::vector<Measurement> huge;
+  bool huge_streamed = false;
+  double huge_speedup = 0.0;
+  if (huge_edge > 0) {
+    const std::vector<Case> huge_cases = {
+        {core::KernelPolicy::Auto, core::StorePolicy::Regular, "huge regular"},
+        {core::KernelPolicy::Auto, core::StorePolicy::Auto, "huge auto"},
+    };
+    huge = measure_all(huge_cases, huge_edge, /*sweeps_per_rep=*/2,
+                       std::min(reps, 5));
+    huge_streamed = huge[1].kernel.find("+nt") != std::string::npos;
+    huge_speedup = huge[1].seconds_per_sweep > 0
+                       ? huge[0].seconds_per_sweep / huge[1].seconds_per_sweep
+                       : 0.0;
+    for (const Measurement& m : huge)
+      std::cout << "  " << m.config.label << " @ " << huge_edge << "^3 -> "
+                << m.kernel << ": " << m.gbytes_per_second << " GB/s\n";
+  }
+
   std::ofstream out(args.get("out"));
   NUSTENCIL_CHECK(out.good(), "cannot open " + args.get("out"));
   out << "{\n"
@@ -254,6 +304,23 @@ int main(int argc, char** argv) try {
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
+      << "  \"huge_domain\": {\n"
+      << "    \"edge\": " << huge_edge << ",\n"
+      << "    \"stream_threshold_bytes\": " << core::stream_auto_threshold_bytes()
+      << ",\n"
+      << "    \"results\": [\n";
+  for (std::size_t i = 0; i < huge.size(); ++i) {
+    const Measurement& m = huge[i];
+    out << "      {\"stores\": \"" << to_string(m.config.stores)
+        << "\", \"kernel\": \"" << m.kernel
+        << "\", \"seconds_per_sweep\": " << m.seconds_per_sweep
+        << ", \"gbytes_per_s\": " << m.gbytes_per_second << "}"
+        << (i + 1 < huge.size() ? "," : "") << "\n";
+  }
+  out << "    ],\n"
+      << "    \"auto_streams\": " << (huge_streamed ? "true" : "false") << ",\n"
+      << "    \"speedup_stream_vs_regular\": " << huge_speedup << "\n"
+      << "  },\n"
       << "  \"vector_efficiency\": {\n"
       << "    \"best_kernel\": \"" << (best ? best->kernel : "") << "\",\n"
       << "    \"best_case\": \"" << (best ? best->config.label : "") << "\",\n"
@@ -270,6 +337,10 @@ int main(int argc, char** argv) try {
             << speedup << "x; bit-exact: " << (exact ? "yes" : "NO")
             << "; streaming bit-exact: " << (exact_stream ? "yes" : "NO")
             << "; wrote " << args.get("out") << '\n';
+  if (huge_edge > 0)
+    std::cout << "huge domain " << huge_edge << "^3: auto stores "
+              << (huge_streamed ? "streamed" : "did NOT stream") << ", "
+              << huge_speedup << "x vs regular\n";
   const bool floor_ok = floor <= 0.0 || best_speedup >= floor;
   if (!floor_ok)
     std::cout << "FAIL: best vector speedup " << best_speedup

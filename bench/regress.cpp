@@ -47,8 +47,8 @@ constexpr int kRegressSchemaVersion = 2;
 const char* kMachineConf = "xeon-x7550";
 
 const std::vector<std::string>& regress_schemes() {
-  static const std::vector<std::string> schemes = {"NaiveSSE", "CATS", "nuCATS",
-                                                   "CORALS", "nuCORALS"};
+  static const std::vector<std::string> schemes = {
+      "NaiveSSE", "CATS", "nuCATS", "CORALS", "nuCORALS", "MWD", "nuMWD"};
   return schemes;
 }
 const std::vector<Index>& regress_edges() {

@@ -1,4 +1,4 @@
-// Heat diffusion: compares all seven schemes on an explicit 3D diffusion
+// Heat diffusion: compares all nine schemes on an explicit 3D diffusion
 // solve (the motivating workload of the paper's introduction) and prints
 // wall-clock throughput plus, when instrumented, the measured
 // data-to-core affinity of each scheme.

@@ -41,6 +41,16 @@ long ArgParser::validate_positive(const char* flag, long value) {
   return value;
 }
 
+int ArgParser::validate_group_size(long group, int num_threads) {
+  NUSTENCIL_CHECK(group >= 1, "--group-size must be at least 1, got " +
+                                  std::to_string(group));
+  NUSTENCIL_CHECK(group <= num_threads && num_threads % group == 0,
+                  "--group-size " + std::to_string(group) +
+                      " must divide the thread count " +
+                      std::to_string(num_threads));
+  return static_cast<int>(group);
+}
+
 double ArgParser::validate_positive_seconds(const char* flag, double seconds) {
   NUSTENCIL_CHECK(std::isfinite(seconds) && seconds > 0.0,
                   std::string(flag) + " must be a positive number of seconds, got " +

@@ -53,6 +53,12 @@ class ArgParser {
   /// finite.
   static double validate_positive_seconds(const char* flag, double seconds);
 
+  /// Validates a --group-size value against the worker-thread count:
+  /// throws Error (with the offending values in the message) unless
+  /// 1 <= group <= num_threads and group divides num_threads.  Returns
+  /// the size as an int so CLI code can validate and narrow in one step.
+  static int validate_group_size(long group, int num_threads);
+
   /// The full --help text.
   std::string help() const;
 

@@ -114,6 +114,12 @@ std::pair<double, double> scheme_sync_overhead(const std::string& scheme_name) {
   if (scheme_name == "nuCORALS") return {0.18, 0.0};
   if (scheme_name == "Pochoir") return {0.25, 0.1};
   if (scheme_name == "PLuTo") return {0.30, 0.15};
+  // The diamond family synchronises per time level inside a group (cheap,
+  // one shared LLC) and per window across groups; MWD's round-robin
+  // column ownership sends the cross-group counter traffic over the
+  // interconnect, nuMWD keeps it between ring neighbours.
+  if (scheme_name == "MWD") return {0.22, 0.35};
+  if (scheme_name == "nuMWD") return {0.15, 0.0};
   return {0.1, 0.0};
 }
 

@@ -10,6 +10,8 @@
 #include "schemes/cats_common.hpp"
 #include "schemes/decompose.hpp"
 #include "schemes/diamond.hpp"
+#include "schemes/mwd_common.hpp"
+#include "schemes/scheme.hpp"
 #include "schemes/trapezoid.hpp"
 
 namespace nustencil::schemes {
@@ -110,12 +112,45 @@ void describe_corals(std::ostringstream& os, const Coord& shape,
   (void)m;
 }
 
+void describe_mwd(std::ostringstream& os, const Coord& shape,
+                  const core::StencilSpec& st, const topology::MachineSpec& m,
+                  int threads, long timesteps, bool numa_aware, int group_size) {
+  const MwdPlan plan =
+      plan_mwd(shape, st, m, threads, timesteps, numa_aware, group_size);
+  const int s = st.order();
+  const auto& llc = m.last_level_cache();
+  const Index nz = shape[shape.rank() - 1];
+  os << "wavefront diamond blocking (MWD family)\n"
+     << "  diamond half-height tau : " << plan.tau << " steps (width "
+     << 2 * s * plan.tau << " of " << nz << " cells along z)\n"
+     << "  ring columns            : " << plan.columns
+     << " V/I pair(s), cut gap " << nz / plan.columns << " cells\n"
+     << "  thread groups           : " << plan.groups << " x " << plan.group_size
+     << " threads (" << (group_size > 0 ? "explicit" : "auto = LLC sharers") << "); "
+     << "cross-section split " << plan.gy << "y x " << plan.gx << "x\n"
+     << "  diamond working set     : " << bytes_human(plan.diamond_bytes)
+     << " vs shared LLC " << bytes_human(static_cast<double>(llc.size_bytes))
+     << " (" << llc.name << ", " << llc.shared_by_cores
+     << " cores) — one group shares the whole cache, not a per-thread slice\n"
+     << "  synchronisation         : group barrier per time level; one "
+        "progress counter per column, growing steps wait on both ring "
+        "neighbours (no global barriers)\n"
+     << "  column ownership        : "
+     << (numa_aware ? "contiguous ring ranges (parallel first touch by group)"
+                    : "round-robin (serial first touch, all pages on node 0)")
+     << '\n';
+}
+
 }  // namespace
 
-std::string describe_plan(const std::string& name, const Coord& shape,
+std::string describe_plan(const std::string& requested, const Coord& shape,
                           const core::StencilSpec& stencil,
                           const topology::MachineSpec& machine, int threads,
-                          long timesteps, sched::Schedule schedule) {
+                          long timesteps, sched::Schedule schedule,
+                          int group_size) {
+  // Canonicalise through the factory so --explain accepts the same
+  // case-insensitive spellings as a real run (throws on unknown names).
+  const std::string name = make_scheme(requested)->name();
   std::ostringstream os;
   os << name << " on " << shape << ", s=" << stencil.order()
      << (stencil.banded() ? " (banded)" : "") << ", " << timesteps << " steps, "
@@ -142,6 +177,9 @@ std::string describe_plan(const std::string& name, const Coord& shape,
        << trapezoid_block_height(shape, stencil, threads, timesteps)
        << " (bounded by W/2s)\n"
        << "  initialisation          : serial (NUMA-ignorant)\n";
+  } else if (name == "MWD" || name == "nuMWD") {
+    describe_mwd(os, shape, stencil, machine, threads, timesteps, name == "nuMWD",
+                 group_size);
   } else if (name == "PLuTo") {
     os << "static skewed tile pipeline (PLuTo stand-in)\n"
        << "  tiles along highest dim : " << threads << " of width "

@@ -14,10 +14,13 @@
 
 namespace nustencil::schemes {
 
+/// `group_size` parameterises the MWD/nuMWD thread groups (0 = auto) and
+/// is ignored by every other scheme.
 std::string describe_plan(const std::string& scheme_name, const Coord& shape,
                           const core::StencilSpec& stencil,
                           const topology::MachineSpec& machine, int threads,
                           long timesteps,
-                          sched::Schedule schedule = sched::Schedule::Static);
+                          sched::Schedule schedule = sched::Schedule::Static,
+                          int group_size = 0);
 
 }  // namespace nustencil::schemes

@@ -5,9 +5,11 @@
 #include "schemes/cats.hpp"
 #include "schemes/corals.hpp"
 #include "schemes/diamond.hpp"
+#include "schemes/mwd.hpp"
 #include "schemes/naive.hpp"
 #include "schemes/nucats.hpp"
 #include "schemes/nucorals.hpp"
+#include "schemes/numwd.hpp"
 #include "schemes/scheme.hpp"
 #include "schemes/trapezoid.hpp"
 
@@ -27,12 +29,15 @@ std::unique_ptr<Scheme> make_scheme(const std::string& name) {
   if (lower == "nucorals") return std::make_unique<NuCoralsScheme>();
   if (lower == "pochoir") return std::make_unique<TrapezoidScheme>();
   if (lower == "pluto") return std::make_unique<DiamondScheme>();
+  if (lower == "mwd") return std::make_unique<MwdScheme>();
+  if (lower == "numwd") return std::make_unique<NuMwdScheme>();
   throw Error("make_scheme: unknown scheme '" + name + "'");
 }
 
 const std::vector<std::string>& scheme_names() {
   static const std::vector<std::string> names = {
-      "NaiveSSE", "CATS", "nuCATS", "CORALS", "nuCORALS", "Pochoir", "PLuTo"};
+      "NaiveSSE", "CATS",  "nuCATS", "CORALS", "nuCORALS",
+      "Pochoir",  "PLuTo", "MWD",    "nuMWD"};
   return names;
 }
 

@@ -1,0 +1,20 @@
+#include "schemes/mwd.hpp"
+
+namespace nustencil::schemes {
+
+RunResult MwdScheme::run(core::Problem& problem, const RunConfig& config) const {
+  MwdParams params;
+  params.name = name();
+  params.numa_init = false;
+  params.tau_override = tau_override_;
+  return run_mwd_like(problem, config, params);
+}
+
+TrafficEstimate MwdScheme::estimate_traffic(const topology::MachineSpec& machine,
+                                            const Coord& shape,
+                                            const core::StencilSpec& stencil,
+                                            int threads, long timesteps) const {
+  return estimate_mwd_traffic(machine, shape, stencil, threads, timesteps);
+}
+
+}  // namespace nustencil::schemes

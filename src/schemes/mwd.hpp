@@ -1,0 +1,33 @@
+// MWD — multicore wavefront diamond blocking (Malas et al.,
+// arXiv:1410.3060): diamond tiles in the (z,t) plane sized for the
+// *shared* last-level cache, each executed cooperatively by a thread
+// group that splits the y/x cross-section per member and synchronises
+// per time level (multi-dimensional intra-tile parallelization,
+// arXiv:1510.04995), with groups pipelining across diamonds through
+// progress counters.  NUMA-ignorant: serial initialisation, round-robin
+// column ownership.  See schemes/mwd_common.hpp.
+#pragma once
+
+#include "schemes/mwd_common.hpp"
+#include "schemes/scheme.hpp"
+
+namespace nustencil::schemes {
+
+class MwdScheme : public Scheme {
+ public:
+  /// `tau_override` != 0 replaces the cache-derived diamond half-height
+  /// (used by bench/ablation_group_size).
+  explicit MwdScheme(long tau_override = 0) : tau_override_(tau_override) {}
+
+  std::string name() const override { return "MWD"; }
+  bool numa_aware() const override { return false; }
+  RunResult run(core::Problem& problem, const RunConfig& config) const override;
+  TrafficEstimate estimate_traffic(const topology::MachineSpec& machine, const Coord& shape,
+                                   const core::StencilSpec& stencil, int threads,
+                                   long timesteps) const override;
+
+ private:
+  long tau_override_;
+};
+
+}  // namespace nustencil::schemes

@@ -1,0 +1,33 @@
+// nuMWD — NUMA-affine multicore wavefront diamond blocking: MWD's
+// shared-cache thread groups and intra-tile parallelization fused with
+// this repo's data-to-core affinity.  Each group owns a contiguous range
+// of the diamond ring and first-touches it in parallel (member
+// cross-section chunk x group home range), so the pages a group's
+// diamonds breathe over stay on its node; the stealing schedules then
+// trade diamonds between groups NUMA-distance-first.  See
+// schemes/mwd_common.hpp.
+#pragma once
+
+#include "schemes/mwd_common.hpp"
+#include "schemes/scheme.hpp"
+
+namespace nustencil::schemes {
+
+class NuMwdScheme : public Scheme {
+ public:
+  /// `tau_override` != 0 replaces the cache-derived diamond half-height
+  /// (used by bench/ablation_group_size).
+  explicit NuMwdScheme(long tau_override = 0) : tau_override_(tau_override) {}
+
+  std::string name() const override { return "nuMWD"; }
+  bool numa_aware() const override { return true; }
+  RunResult run(core::Problem& problem, const RunConfig& config) const override;
+  TrafficEstimate estimate_traffic(const topology::MachineSpec& machine, const Coord& shape,
+                                   const core::StencilSpec& stencil, int threads,
+                                   long timesteps) const override;
+
+ private:
+  long tau_override_;
+};
+
+}  // namespace nustencil::schemes

@@ -60,6 +60,13 @@ struct RunConfig {
   /// StealLocal restricts victims to the thief's own node (sched/).
   sched::Schedule schedule = sched::Schedule::Static;
 
+  /// Thread-group size of the MWD/nuMWD diamond family: how many threads
+  /// cooperate inside one diamond, splitting its cross-section per member
+  /// (multi-dimensional intra-tile parallelization).  0 = auto (largest
+  /// divisor of num_threads within one LLC's sharer count); explicit
+  /// values must divide num_threads.  Ignored by the other schemes.
+  int group_size = 0;
+
   /// Optional trace-driven cache simulation: when set, the executors feed
   /// their (row-granular) access stream into this hierarchy with real
   /// data addresses; thread tid maps to simulated core tid.  Use small

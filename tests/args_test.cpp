@@ -6,6 +6,7 @@
 #include "common/args.hpp"
 #include "core/kernels.hpp"
 #include "hwc/events.hpp"
+#include "schemes/scheme.hpp"
 
 namespace nustencil {
 namespace {
@@ -136,6 +137,49 @@ TEST(ArgParser, ValidatePositiveRejectsZeroAndNegative) {
     EXPECT_NE(std::string(e.what()).find("--trace-buffer"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("-5"), std::string::npos);
   }
+}
+
+TEST(ArgParser, ValidateGroupSizeAcceptsDivisors) {
+  EXPECT_EQ(ArgParser::validate_group_size(1, 8), 1);
+  EXPECT_EQ(ArgParser::validate_group_size(2, 8), 2);
+  EXPECT_EQ(ArgParser::validate_group_size(4, 8), 4);
+  EXPECT_EQ(ArgParser::validate_group_size(8, 8), 8);
+  EXPECT_EQ(ArgParser::validate_group_size(3, 3), 3);
+  EXPECT_EQ(ArgParser::validate_group_size(1, 1), 1);
+}
+
+TEST(ArgParser, ValidateGroupSizeRejectsNonPositive) {
+  EXPECT_THROW(ArgParser::validate_group_size(0, 8), Error);
+  EXPECT_THROW(ArgParser::validate_group_size(-2, 8), Error);
+  try {
+    ArgParser::validate_group_size(-2, 8);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--group-size"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("-2"), std::string::npos);
+  }
+}
+
+TEST(ArgParser, ValidateGroupSizeRejectsNonDivisorOfThreads) {
+  EXPECT_THROW(ArgParser::validate_group_size(3, 8), Error);
+  EXPECT_THROW(ArgParser::validate_group_size(16, 8), Error);  // bigger than n
+  try {
+    ArgParser::validate_group_size(3, 8);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    // The message must echo both the group size and the thread count.
+    EXPECT_NE(std::string(e.what()).find("3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("8"), std::string::npos);
+  }
+}
+
+TEST(SchemeOption, MwdSpellingsAreCaseInsensitive) {
+  // The CLI lowercases --scheme before the factory lookup; every spelling
+  // of the diamond family must resolve to the canonical scheme name.
+  for (const char* spelling : {"mwd", "MWD", "Mwd"})
+    EXPECT_EQ(schemes::make_scheme(spelling)->name(), "MWD") << spelling;
+  for (const char* spelling : {"numwd", "nuMWD", "NUMWD", "NuMwd"})
+    EXPECT_EQ(schemes::make_scheme(spelling)->name(), "nuMWD") << spelling;
 }
 
 TEST(ArgParser, ValidatePositiveSecondsAcceptsFractions) {

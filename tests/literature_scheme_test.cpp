@@ -105,9 +105,11 @@ TEST(SchemeFactory, CreatesAllNamedSchemes) {
 TEST(SchemeFactory, NumaAwarenessFlags) {
   EXPECT_TRUE(schemes::make_scheme("nuCATS")->numa_aware());
   EXPECT_TRUE(schemes::make_scheme("nuCORALS")->numa_aware());
+  EXPECT_TRUE(schemes::make_scheme("nuMWD")->numa_aware());
   EXPECT_TRUE(schemes::make_scheme("NaiveSSE")->numa_aware());
   EXPECT_FALSE(schemes::make_scheme("CATS")->numa_aware());
   EXPECT_FALSE(schemes::make_scheme("CORALS")->numa_aware());
+  EXPECT_FALSE(schemes::make_scheme("MWD")->numa_aware());
   EXPECT_FALSE(schemes::make_scheme("Pochoir")->numa_aware());
   EXPECT_FALSE(schemes::make_scheme("PLuTo")->numa_aware());
 }

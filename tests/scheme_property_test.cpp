@@ -59,15 +59,15 @@ std::vector<Config> make_configs() {
     configs.push_back({scheme, Coord{24, 20, 20}, 2, false, 2, 4});  // order 2
   }
   // Deep runs (many layers/chunks) for the temporal blockers.
-  for (const std::string scheme : {"nuCORALS", "nuCATS", "CATS", "CORALS"}) {
+  for (const std::string scheme : {"nuCORALS", "nuCATS", "CATS", "CORALS", "nuMWD", "MWD"}) {
     configs.push_back({scheme, Coord{14, 12, 14}, 1, false, 4, 23});
   }
   // Order 3 on the main contributions.
-  for (const std::string scheme : {"nuCORALS", "nuCATS"}) {
+  for (const std::string scheme : {"nuCORALS", "nuCATS", "nuMWD"}) {
     configs.push_back({scheme, Coord{26, 22, 22}, 3, false, 2, 3});
   }
   // Non-cubic, prime-ish shapes.
-  for (const std::string scheme : {"nuCORALS", "NaiveSSE", "Pochoir", "PLuTo"}) {
+  for (const std::string scheme : {"nuCORALS", "NaiveSSE", "Pochoir", "PLuTo", "nuMWD"}) {
     configs.push_back({scheme, Coord{31, 9, 23}, 1, false, 3, 5});
   }
   return configs;

@@ -186,7 +186,9 @@ void print_phase_metrics(const schemes::RunResult& result, double seconds) {
 
 int main(int argc, char** argv) try {
   ArgParser args("nustencil", "run iterative stencil schemes (IPDPS'12 reproduction)");
-  args.add_option("scheme", "one of NaiveSSE, CATS, nuCATS, CORALS, nuCORALS, Pochoir, PLuTo",
+  args.add_option("scheme",
+                  "one of NaiveSSE, CATS, nuCATS, CORALS, nuCORALS, Pochoir, "
+                  "PLuTo, MWD, nuMWD",
                   "nuCORALS");
   args.add_option("shape", "domain extents, e.g. 128x128x128", "64x64x64");
   args.add_option("steps", "time steps (the paper runs 100)", "100");
@@ -198,6 +200,10 @@ int main(int argc, char** argv) try {
                   "static");
   args.add_option("sweep-threads", "comma-separated thread counts (overrides --threads)",
                   "");
+  args.add_option("group-size",
+                  "MWD/nuMWD threads per diamond group (must divide --threads); "
+                  "auto = cores sharing one LLC",
+                  "auto");
   args.add_option("order", "stencil order s", "1");
   args.add_option("machine",
                   "instrumentation topology: xeon, opteron, host, or a machine "
@@ -293,6 +299,11 @@ int main(int argc, char** argv) try {
         args.get_long("threads"), machine->cores()));
 
   const sched::Schedule schedule = sched::parse_schedule(args.get("schedule"));
+  // 0 = auto; explicit values are validated against each run's thread
+  // count (a sweep can make the same --group-size legal for 8 threads and
+  // illegal for 6).
+  const long group_size_raw =
+      args.get("group-size") == "auto" ? 0 : args.get_long("group-size");
 
   const core::KernelPolicy kernel_policy =
       args.get_flag("no-simd") ? core::KernelPolicy::Scalar
@@ -356,9 +367,13 @@ int main(int argc, char** argv) try {
                                                  args.get_double("progress"));
 
   if (args.get_flag("explain")) {
-    std::cout << schemes::describe_plan(args.get("scheme"), shape, stencil, *machine,
-                                        thread_counts.front(),
-                                        args.get_long("steps"), schedule)
+    std::cout << schemes::describe_plan(
+                     args.get("scheme"), shape, stencil, *machine,
+                     thread_counts.front(), args.get_long("steps"), schedule,
+                     group_size_raw == 0
+                         ? 0
+                         : ArgParser::validate_group_size(group_size_raw,
+                                                          thread_counts.front()))
               << core::explain_kernel_choice(kernel_policy, kernel_request)
               << trace::describe_observability(trace_path, trace_svg_path,
                                                args.get_flag("phase-metrics"),
@@ -384,6 +399,9 @@ int main(int argc, char** argv) try {
     cfg.kernel_stores = kernel_stores;
     cfg.pin_threads = args.get_flag("pin");
     cfg.schedule = schedule;
+    cfg.group_size = group_size_raw == 0
+                         ? 0
+                         : ArgParser::validate_group_size(group_size_raw, threads);
     cfg.machine = machine;
     cfg.hw_mode = hw_mode;
     cfg.hw_events = hw_events;
