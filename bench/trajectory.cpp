@@ -28,6 +28,10 @@ int main(int argc, char** argv) try {
                   "optional bench/validate_model output to fold in "
                   "(informational, never gated)",
                   "");
+  args.add_option("telemetry-overhead",
+                  "optional bench/telemetry_overhead output to fold in "
+                  "(informational, never gated)",
+                  "");
   args.add_option("out", "write the appended database here (default: --db)",
                   "");
   args.add_option("window", "trailing entries per metric for the gate", "5");
@@ -53,6 +57,10 @@ int main(int argc, char** argv) try {
   if (const std::string validate = args.get("validate"); !validate.empty())
     metrics::merge_validate_model(candidate,
                                   metrics::parse_json_file(validate));
+  if (const std::string overhead = args.get("telemetry-overhead");
+      !overhead.empty())
+    metrics::merge_telemetry_overhead(candidate,
+                                      metrics::parse_json_file(overhead));
 
   metrics::TrajectoryDb db = metrics::load_trajectory(args.get("db"));
   std::cout << "trajectory: " << db.entries.size() << " historical entr"

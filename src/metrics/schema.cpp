@@ -18,10 +18,10 @@ std::string csv_detail_column(const std::string& key) { return "detail_" + key; 
 
 const std::vector<std::string>& run_report_top_level_keys() {
   static const std::vector<std::string> keys = {
-      "schema_version", "generator", "provenance", "config",   "machine",
-      "result",         "traffic",   "cache",      "phases",   "sched",
-      "prof",           "hw",        "model",      "stats",    "counters",
-      "gauges",         "histograms"};
+      "schema_version", "generator", "provenance", "config",     "machine",
+      "result",         "traffic",   "cache",      "phases",     "sched",
+      "prof",           "hw",        "model",      "stats",      "timeseries",
+      "counters",       "gauges",    "histograms"};
   return keys;
 }
 

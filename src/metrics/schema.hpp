@@ -23,9 +23,13 @@ namespace nustencil::metrics {
 /// per-thread raw totals and attributed span sums, multiplexing scaling
 /// factors, per-event availability, degradation status + reason, and
 /// the simulated-vs-measured validation when both sides ran).
+/// v6: added the top-level "timeseries" section (downsampled live
+/// telemetry rings: shared sample-time axis, per-thread throughput and
+/// locality series, stall-event count; enabled only when the run sampled
+/// with --telemetry=on).
 /// Readers (nustencil_report, metrics/diff) stay forward-tolerant: any
 /// schema >= 1 parses, absent sections are skipped.
-inline constexpr int kRunReportSchemaVersion = 5;
+inline constexpr int kRunReportSchemaVersion = 6;
 
 /// The fixed leading CSV columns of the nustencil CLI summary table
 /// (before the detail_* and phase columns).

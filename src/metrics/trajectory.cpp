@@ -133,11 +133,19 @@ void merge_validate_model(TrajectoryEntry& entry,
     entry.metrics.emplace_back("validate/n_spans", n->num());
 }
 
+void merge_telemetry_overhead(TrajectoryEntry& entry,
+                              const JsonValue& overhead_doc) {
+  if (const JsonValue* pct = overhead_doc.find("overhead_pct"))
+    entry.metrics.emplace_back("telemetry/overhead_pct", pct->num());
+}
+
 bool metric_is_gated(const std::string& metric) {
-  // "/seconds" is informational only, and "validate/" correlations are
-  // host-PMU-dependent (absent entirely on degraded runners) — tracked
-  // for trend visibility, never gated.
+  // "/seconds" is informational only; "validate/" correlations are
+  // host-PMU-dependent (absent entirely on degraded runners) and
+  // "telemetry/" overhead is a wall-clock ratio on a shared runner —
+  // tracked for trend visibility, never gated.
   if (metric.rfind("validate/", 0) == 0) return false;
+  if (metric.rfind("telemetry/", 0) == 0) return false;
   return higher_is_better(metric);
 }
 

@@ -57,6 +57,14 @@ void merge_kernel_report(TrajectoryEntry& entry, const JsonValue& kernel_doc);
 /// document (no correlation) folds nothing.
 void merge_validate_model(TrajectoryEntry& entry, const JsonValue& validate_doc);
 
+/// Folds a bench/telemetry_overhead document's headline ratio into
+/// `entry` ("telemetry/overhead_pct").  Informational only — never
+/// gated: it is a ratio of wall clocks on a shared runner, so the gate
+/// would fire on scheduler noise.  The zero-cost off contract is
+/// enforced by the tool itself (nonzero exit), not by the gate.
+void merge_telemetry_overhead(TrajectoryEntry& entry,
+                              const JsonValue& overhead_doc);
+
 /// True for metrics where larger is better (throughput, locality,
 /// speedups); wall-clock "/seconds" metrics are lower-is-better.
 bool higher_is_better(const std::string& metric);

@@ -13,11 +13,8 @@ ProgressMeter::ProgressMeter(double interval_s, std::ostream& os)
   NUSTENCIL_CHECK(interval_s > 0.0, "ProgressMeter: interval must be positive");
 }
 
-ProgressMeter::~ProgressMeter() { stop(); }
-
 void ProgressMeter::begin_run(const std::string& label, int num_threads,
                               std::uint64_t total_updates) {
-  NUSTENCIL_CHECK(!running_, "ProgressMeter: begin_run while running");
   NUSTENCIL_CHECK(num_threads >= 1, "ProgressMeter: need at least one thread");
   label_ = label;
   total_updates_ = total_updates;
@@ -61,35 +58,9 @@ std::string ProgressMeter::render_line() {
   return line.str();
 }
 
-void ProgressMeter::beat_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  const auto interval = std::chrono::duration<double>(interval_s_);
-  while (!stopping_) {
-    if (cv_.wait_for(lock, interval, [this] { return stopping_; })) break;
-    lock.unlock();
-    *os_ << render_line() << std::endl;
-    lock.lock();
-  }
-}
+void ProgressMeter::emit_beat() { *os_ << render_line() << std::endl; }
 
-void ProgressMeter::start() {
-  NUSTENCIL_CHECK(!slots_.empty(), "ProgressMeter: start before begin_run");
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (running_) return;
-  stopping_ = false;
-  running_ = true;
-  thread_ = std::thread([this] { beat_loop(); });
-}
-
-void ProgressMeter::stop() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!running_) return;
-    stopping_ = true;
-  }
-  cv_.notify_all();
-  thread_.join();
-  running_ = false;
+void ProgressMeter::emit_final() {
   // One closing beat so runs shorter than the interval still report.
   *os_ << render_line() << " (final)" << std::endl;
 }

@@ -1,23 +1,24 @@
-// Live progress heartbeat for long runs: a background thread that
-// periodically prints the current temporal layer, the update rate since
-// the last beat and the running NUMA locality.
+// Live progress state for long runs: per-thread publish slots plus the
+// heartbeat line renderer ("layer N | X.X M up/s | locality Y.Y%").
 //
 // Workers publish into cache-line-padded per-thread atomic slots with
 // relaxed stores (one branch + three stores per tile when enabled, one
 // null check when not), so the heartbeat never perturbs the measured
-// run: there is no lock on the publish path and the reader tolerates
-// torn *sets* of slots — each slot itself is a word-sized atomic.
+// run: there is no lock on the publish path and readers tolerate torn
+// *sets* of slots — each slot itself is a word-sized atomic.
+//
+// Since the telemetry sampler landed there is exactly one periodic-
+// snapshot thread in the system: the meter no longer owns one.  The
+// telemetry::Sampler drives emit_beat()/emit_final() on its own cadence
+// (and reads the same slots for its time-series rings); the printed
+// output is unchanged.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <iosfwd>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/aligned.hpp"
@@ -26,9 +27,9 @@ namespace nustencil::prof {
 
 class ProgressMeter {
  public:
-  /// Beats every `interval_s` seconds onto `os` (one line per beat).
+  /// Heartbeats render onto `os` every `interval_s` seconds (the caller
+  /// that drives emit_beat honours the interval; the meter validates it).
   ProgressMeter(double interval_s, std::ostream& os);
-  ~ProgressMeter();
 
   ProgressMeter(const ProgressMeter&) = delete;
   ProgressMeter& operator=(const ProgressMeter&) = delete;
@@ -57,13 +58,34 @@ class ProgressMeter {
     }
   }
 
-  /// Starts / stops the heartbeat thread.  stop() emits one final line
-  /// so short runs still report, then joins.
-  void start();
-  void stop();
+  /// One heartbeat line onto the configured stream; emit_final appends
+  /// the " (final)" marker so runs shorter than the interval still
+  /// report.  Call from one driver thread only (the rate window is
+  /// stateful).
+  void emit_beat();
+  void emit_final();
 
-  /// The current heartbeat line (sampled now); exposed for tests.
+  /// The current heartbeat line (sampled now); exposed for tests and the
+  /// emit_* helpers.
   std::string render_line();
+
+  /// Configured heartbeat cadence.
+  double interval_s() const { return interval_s_; }
+
+  // Cross-thread snapshot readers for the telemetry sampler: relaxed
+  // atomic loads of single-writer slots — per-thread-coherent, not
+  // globally atomic, which is fine for monitoring.
+  int num_slots() const { return static_cast<int>(slots_.size()); }
+  void read_slot(int tid, std::uint64_t& updates, std::uint64_t& local_bytes,
+                 std::uint64_t& remote_bytes) const {
+    const Slot& s = slots_[static_cast<std::size_t>(tid)];
+    updates = s.updates.load(std::memory_order_relaxed);
+    local_bytes = s.local_bytes.load(std::memory_order_relaxed);
+    remote_bytes = s.remote_bytes.load(std::memory_order_relaxed);
+  }
+  long layer() const { return layer_.load(std::memory_order_relaxed); }
+  std::uint64_t total_updates() const { return total_updates_; }
+  const std::string& label() const { return label_; }
 
  private:
   struct alignas(kCacheLineBytes) Slot {
@@ -72,8 +94,6 @@ class ProgressMeter {
     std::atomic<std::uint64_t> remote_bytes{0};
   };
 
-  void beat_loop();
-
   double interval_s_;
   std::ostream* os_;
   std::string label_;
@@ -81,15 +101,9 @@ class ProgressMeter {
   std::vector<Slot> slots_;
   std::atomic<long> layer_{-1};
 
-  // Rate window state (heartbeat thread only).
+  // Rate window state (heartbeat driver thread only).
   std::uint64_t last_updates_ = 0;
   std::chrono::steady_clock::time_point last_beat_{};
-
-  std::thread thread_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
-  bool running_ = false;
 };
 
 }  // namespace nustencil::prof

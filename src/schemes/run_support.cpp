@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "hwc/validate.hpp"
+#include "telemetry/sampler.hpp"
 
 namespace nustencil::schemes {
 
@@ -96,9 +97,35 @@ RunSupport::RunSupport(core::Problem& problem, const RunConfig& config)
   }
 
   team_ = std::make_unique<threading::Team>(config.num_threads, config.pin_threads);
+
+  // Bind the live telemetry sampler last, when every shard it snapshots
+  // exists.  All sources are single-writer stores the sampler only
+  // reads, so the hot path gains no new writes.
+  if (config.telemetry) {
+    telemetry::RunSources sources;
+    sources.num_threads = config.num_threads;
+    sources.timesteps = config.timesteps;
+    sources.progress = config.progress;
+    sources.traffic = recorder_ ? &*recorder_ : nullptr;
+    sources.cache = config.cache_sim;
+    sources.registry = config.metrics;
+    sources.trace = trace_;
+    sources.abort = &abort_;
+    if (hw_ && hw_->active()) {
+      sources.hw = [this](int tid, trace::CounterSet& out) {
+        hw_->sample(tid, out);
+      };
+      const hwc::HwRunStats hw_stats = hw_->stats();
+      sources.hw_status = hw_stats.status;
+      sources.hw_reason = hw_stats.reason;
+    }
+    config.telemetry->begin_run(sources);
+  }
 }
 
 RunSupport::~RunSupport() {
+  // The sampler must stop reading before the shards it points into die.
+  if (config_->telemetry) config_->telemetry->detach_run();
   if (profiler_ && trace_) trace_->set_sampler(nullptr);
 }
 
@@ -186,6 +213,10 @@ RunResult RunSupport::finish(const std::string& scheme_name, double seconds) {
   r.timesteps = config_->timesteps;
   r.seconds = seconds;
   r.updates = total_updates();
+  // Stop live telemetry first: the sampler takes its closing sample and
+  // emits the run_end event while every shard is still warm.
+  if (config_->telemetry)
+    config_->telemetry->end_run(seconds, static_cast<std::uint64_t>(r.updates));
   if (recorder_) r.traffic = recorder_->collect();
   if (trace_) r.phases = trace_->breakdown();
   if (profiler_ && trace_ && config_->profile_spans)

@@ -24,6 +24,10 @@
 #include "topology/machine.hpp"
 #include "trace/trace.hpp"
 
+namespace nustencil::telemetry {
+class Sampler;
+}
+
 namespace nustencil::schemes {
 
 struct RunConfig {
@@ -138,6 +142,14 @@ struct RunConfig {
   /// (requires `instrument`).  0 picks an automatic window of roughly 32
   /// samples per thread over the run; negative disables sampling.
   Index locality_sample_updates = 0;
+
+  /// Optional live telemetry sampler (src/telemetry/): when set, the run
+  /// binds the sampler to its instrumentation shards (progress slots,
+  /// traffic recorder, cache sim, registry, trace, abort token) at
+  /// construction and releases it when the run finishes.  The caller owns
+  /// the sampler; null (the default) constructs nothing and costs
+  /// nothing — telemetry adds no writes to the hot path either way.
+  telemetry::Sampler* telemetry = nullptr;
 
   unsigned seed = 42;
 };

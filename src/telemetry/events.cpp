@@ -1,0 +1,28 @@
+#include "telemetry/events.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace nustencil::telemetry {
+
+EventLog::EventLog(const std::string& path) : path_(path), out_(path) {
+  NUSTENCIL_CHECK(out_.good(), "telemetry: cannot open event log " + path);
+}
+
+void EventLog::event(const std::string& type, double t_ms,
+                     const std::function<void(metrics::JsonWriter&)>& body) {
+  std::ostringstream line;
+  metrics::JsonWriter w(line);
+  w.begin_object();
+  w.kv("type", type);
+  w.kv("t_ms", t_ms);
+  if (body) body(w);
+  w.end_object();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << line.str() << '\n';
+  out_.flush();
+}
+
+}  // namespace nustencil::telemetry

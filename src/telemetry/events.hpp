@@ -1,0 +1,38 @@
+// Append-only JSONL structured event log for live telemetry.
+//
+// One JSON object per line, flushed per event so `tail -f` follows a run
+// in real time.  Every event carries "type" and "t_ms" (milliseconds
+// since run start); the caller serialises type-specific fields through
+// the JsonWriter callback.  Writes are serialised by a mutex: the
+// sampler thread emits sample/stall events while the main thread emits
+// run start/end, and interleaved partial lines would corrupt the log.
+#pragma once
+
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "metrics/json.hpp"
+
+namespace nustencil::telemetry {
+
+class EventLog {
+ public:
+  /// Truncates/creates `path` (throws Error when it cannot be opened).
+  explicit EventLog(const std::string& path);
+
+  const std::string& path() const { return path_; }
+
+  /// Appends {"type": type, "t_ms": t_ms, ...} + '\n' and flushes.
+  /// `body`, when given, writes the remaining fields of the event object.
+  void event(const std::string& type, double t_ms,
+             const std::function<void(metrics::JsonWriter&)>& body = {});
+
+ private:
+  std::string path_;
+  std::mutex mutex_;
+  std::ofstream out_;
+};
+
+}  // namespace nustencil::telemetry

@@ -1,0 +1,67 @@
+#include "telemetry/openmetrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace nustencil::telemetry {
+
+namespace {
+
+/// Prometheus sample values are plain decimals; emit integers without a
+/// fractional part so counters read naturally.
+void append_value(std::ostringstream& os, double v) {
+  if (std::isfinite(v) && v == std::floor(v) &&
+      std::fabs(v) < 9.007199254740992e15) {  // 2^53: exactly representable
+    os << static_cast<long long>(v);
+  } else {
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << v;
+  }
+}
+
+}  // namespace
+
+std::string render_openmetrics(const std::vector<MetricFamily>& families) {
+  std::ostringstream os;
+  for (const MetricFamily& f : families) {
+    if (!f.help.empty()) os << "# HELP " << f.name << ' ' << f.help << '\n';
+    os << "# TYPE " << f.name << ' ' << f.type << '\n';
+    for (const MetricPoint& p : f.points) {
+      os << f.name;
+      if (!p.labels.empty()) os << '{' << p.labels << '}';
+      os << ' ';
+      append_value(os, p.value);
+      os << '\n';
+    }
+  }
+  os << "# EOF\n";
+  return os.str();
+}
+
+bool write_openmetrics_file(const std::vector<MetricFamily>& families,
+                            const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.good()) return false;
+    out << render_openmetrics(families);
+    if (!out.good()) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (std::size_t i = 1; i < name.size(); ++i)
+    if (!head(name[i]) && !(name[i] >= '0' && name[i] <= '9')) return false;
+  return true;
+}
+
+}  // namespace nustencil::telemetry

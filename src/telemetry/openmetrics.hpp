@@ -1,0 +1,43 @@
+// OpenMetrics / Prometheus text exposition for live telemetry.
+//
+// The sampler renders its current snapshot as one self-contained text
+// document (# TYPE/# HELP metadata, `name{labels} value` samples, a
+// terminating "# EOF") and atomically replaces the target file by
+// writing `path + ".tmp"` and renaming it over the destination, so a
+// Prometheus node_exporter textfile collector — or anyone running
+// `watch cat` — never observes a torn document.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nustencil::telemetry {
+
+/// One sample line.  `labels` is the rendered label body without braces
+/// (e.g. `thread="3"`); empty means an unlabelled sample.
+struct MetricPoint {
+  std::string labels;
+  double value = 0.0;
+};
+
+/// One metric family: a # TYPE/# HELP header plus its samples.
+struct MetricFamily {
+  std::string name;  ///< e.g. "nustencil_updates_total"
+  std::string type;  ///< "counter" or "gauge"
+  std::string help;
+  std::vector<MetricPoint> points;
+};
+
+/// The full exposition text, "# EOF"-terminated.
+std::string render_openmetrics(const std::vector<MetricFamily>& families);
+
+/// Atomic rewrite: write `path + ".tmp"`, rename over `path`.  Returns
+/// false on I/O failure (the sampler thread must not throw mid-run).
+bool write_openmetrics_file(const std::vector<MetricFamily>& families,
+                            const std::string& path);
+
+/// True when `name` is a legal Prometheus metric name
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*) — the format check tests and CI use this.
+bool valid_metric_name(const std::string& name);
+
+}  // namespace nustencil::telemetry

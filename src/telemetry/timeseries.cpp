@@ -1,0 +1,52 @@
+#include "telemetry/timeseries.hpp"
+
+#include "common/error.hpp"
+
+namespace nustencil::telemetry {
+
+TimeSeriesStore::TimeSeriesStore(std::size_t capacity) : capacity_(capacity) {
+  NUSTENCIL_CHECK(capacity >= 1, "TimeSeriesStore: capacity must be >= 1");
+  times_.assign(capacity_, 0);
+}
+
+int TimeSeriesStore::add_series(const std::string& name) {
+  NUSTENCIL_CHECK(count_ == 0,
+                  "TimeSeriesStore: add every series before the first append");
+  names_.push_back(name);
+  values_.emplace_back(capacity_, 0.0);
+  return static_cast<int>(names_.size()) - 1;
+}
+
+void TimeSeriesStore::append(std::int64_t t_ns, const std::vector<double>& values) {
+  NUSTENCIL_CHECK(values.size() == names_.size(),
+                  "TimeSeriesStore: append expects one value per series");
+  const std::size_t at = count_ % capacity_;
+  times_[at] = t_ns;
+  for (std::size_t s = 0; s < values.size(); ++s) values_[s][at] = values[s];
+  count_ += 1;
+}
+
+std::vector<std::size_t> TimeSeriesStore::downsample_indices(
+    std::size_t n, std::size_t max_points) {
+  std::vector<std::size_t> idx;
+  if (n == 0) return idx;
+  if (max_points == 0 || n <= max_points) {
+    idx.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) idx.push_back(i);
+    return idx;
+  }
+  const std::size_t stride = (n + max_points - 1) / max_points;
+  for (std::size_t i = 0; i < n; i += stride) idx.push_back(i);
+  // The last row is the freshest sample; never decimate it away.  When
+  // the strided walk already filled the budget, trade the final kept
+  // index for it instead of exceeding max_points.
+  if (idx.back() != n - 1) {
+    if (idx.size() < max_points)
+      idx.push_back(n - 1);
+    else
+      idx.back() = n - 1;
+  }
+  return idx;
+}
+
+}  // namespace nustencil::telemetry

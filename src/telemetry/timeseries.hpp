@@ -1,0 +1,69 @@
+// Fixed-capacity time-series storage for the live telemetry sampler.
+//
+// One TimeSeriesStore holds every series of a run in parallel rings that
+// share a single time axis: each sampler tick appends one timestamp plus
+// one value per series, so a chronological index addresses a globally
+// consistent sample row.  When the ring is full the oldest row is
+// overwritten in every series at once — the time axis never diverges
+// from the values.  Appends are sampler-thread-only; readers run after
+// the sampler has stopped (report assembly, tests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nustencil::telemetry {
+
+class TimeSeriesStore {
+ public:
+  /// `capacity` rows are retained; older rows are overwritten (throws on
+  /// capacity == 0).
+  explicit TimeSeriesStore(std::size_t capacity);
+
+  /// Registers a series before the first append; returns its index.
+  int add_series(const std::string& name);
+
+  int num_series() const { return static_cast<int>(names_.size()); }
+  const std::string& series_name(int s) const {
+    return names_[static_cast<std::size_t>(s)];
+  }
+
+  /// Appends one sample row; `values` must carry one value per series.
+  void append(std::int64_t t_ns, const std::vector<double>& values);
+
+  /// Rows currently retained (<= capacity).
+  std::size_t size() const { return count_ < capacity_ ? count_ : capacity_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Rows ever appended (>= size(); the difference was overwritten).
+  std::uint64_t total_appended() const { return count_; }
+
+  /// Chronological access: i == 0 is the oldest retained row.
+  std::int64_t time_ns_at(std::size_t i) const { return times_[slot(i)]; }
+  double value_at(int series, std::size_t i) const {
+    return values_[static_cast<std::size_t>(series)][slot(i)];
+  }
+
+  /// Exact-decimation downsampling: the chronological indices to keep
+  /// when at most `max_points` of `n` rows may survive.  Stride
+  /// ceil(n / max_points); the first and last rows are always included
+  /// and every returned index addresses an original row unchanged.
+  /// `max_points` == 0 (no limit) or n <= max_points keeps everything.
+  static std::vector<std::size_t> downsample_indices(std::size_t n,
+                                                     std::size_t max_points);
+
+ private:
+  std::size_t slot(std::size_t i) const {
+    const std::size_t start = count_ < capacity_ ? 0 : count_ % capacity_;
+    return (start + i) % capacity_;
+  }
+
+  std::size_t capacity_;
+  std::uint64_t count_ = 0;
+  std::vector<std::string> names_;
+  std::vector<std::int64_t> times_;
+  std::vector<std::vector<double>> values_;  ///< [series][ring slot]
+};
+
+}  // namespace nustencil::telemetry

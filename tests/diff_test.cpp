@@ -436,5 +436,35 @@ TEST(Trajectory, EntryFromRegressReadsProvenance) {
   EXPECT_DOUBLE_EQ(*e.find("regress/nuCORALS_e40/model_gup_core"), 0.3);
 }
 
+TEST(Trajectory, TelemetryOverheadFoldsButIsInformationalOnly) {
+  TrajectoryEntry e;
+  merge_telemetry_overhead(
+      e, parse_json("{\"overhead_pct\":1.75,\"seconds_off\":0.4}"));
+  ASSERT_NE(e.find("telemetry/overhead_pct"), nullptr);
+  EXPECT_DOUBLE_EQ(*e.find("telemetry/overhead_pct"), 1.75);
+  EXPECT_FALSE(metric_is_gated("telemetry/overhead_pct"));
+  // A degraded document with no headline number folds nothing.
+  TrajectoryEntry none;
+  merge_telemetry_overhead(none, parse_json("{\"seconds_off\":0.4}"));
+  EXPECT_TRUE(none.metrics.empty());
+
+  // A wall-clock overhead blowup on a loaded runner must not fail the
+  // gate even when the history says it is usually near zero.
+  TrajectoryDb db = history_of(5, 0.2269);
+  for (TrajectoryEntry& h : db.entries)
+    h.metrics.emplace_back("telemetry/overhead_pct", 0.5);
+  TrajectoryEntry candidate = entry_with(0.2269, 0.875, 0.004);
+  candidate.metrics.emplace_back("telemetry/overhead_pct", 25.0);
+  const GateResult r = gate_candidate(db, candidate);
+  EXPECT_TRUE(r.pass);
+  bool saw = false;
+  for (const GateFinding& f : r.findings)
+    if (f.metric == "telemetry/overhead_pct") {
+      saw = true;
+      EXPECT_FALSE(f.gated);
+    }
+  EXPECT_TRUE(saw);
+}
+
 }  // namespace
 }  // namespace nustencil::metrics

@@ -378,16 +378,33 @@ TEST(ProfProgress, LayerIndicatorIsMonotonic) {
   EXPECT_NE(meter.render_line().find("layer 5"), std::string::npos);
 }
 
-TEST(ProfProgress, StopEmitsAFinalLineEvenOnShortRuns) {
+TEST(ProfProgress, FinalBeatReportsEvenOnShortRuns) {
   std::ostringstream os;
   prof::ProgressMeter meter(60.0, os);  // far longer than the test
   meter.begin_run("short", 1, 100);
   meter.publish(0, 100, 10, 0);
-  meter.start();
-  meter.stop();
+  meter.emit_final();  // the telemetry sampler drives this at end_run
   const std::string out = os.str();
   EXPECT_NE(out.find("(final)"), std::string::npos) << out;
   EXPECT_NE(out.find("100.0% done"), std::string::npos) << out;
+}
+
+TEST(ProfProgress, SlotReadersExposePublishedStateToTheSampler) {
+  std::ostringstream os;
+  prof::ProgressMeter meter(1.0, os);
+  meter.begin_run("r", 2, 0);
+  meter.publish(1, 42, 100, 50);
+  meter.set_layer(7);
+  EXPECT_EQ(meter.num_slots(), 2);
+  std::uint64_t updates = 0, local = 0, remote = 0;
+  meter.read_slot(1, updates, local, remote);
+  EXPECT_EQ(updates, 42u);
+  EXPECT_EQ(local, 100u);
+  EXPECT_EQ(remote, 50u);
+  meter.read_slot(0, updates, local, remote);
+  EXPECT_EQ(updates, 0u);
+  EXPECT_EQ(meter.layer(), 7);
+  EXPECT_EQ(meter.label(), "r");
 }
 
 TEST(ProfProgress, RejectsNonPositiveIntervalsAndEmptyTeams) {

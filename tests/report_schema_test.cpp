@@ -37,8 +37,8 @@ TEST(Schema, RunReportTopLevelKeysAreGolden) {
       "schema_version", "generator", "provenance", "config",
       "machine",        "result",    "traffic",    "cache",
       "phases",         "sched",     "prof",       "hw",
-      "model",          "stats",     "counters",   "gauges",
-      "histograms"};
+      "model",          "stats",     "timeseries", "counters",
+      "gauges",         "histograms"};
   EXPECT_EQ(run_report_top_level_keys(), golden);
 }
 
@@ -48,7 +48,8 @@ TEST(Schema, VersionIsPinned) {
   // v3: top-level "provenance" and "prof" sections.
   // v4: top-level "stats" section (--reps summaries).
   // v5: top-level "hw" section (measured hardware counters).
-  EXPECT_EQ(kRunReportSchemaVersion, 5);
+  // v6: top-level "timeseries" section (live telemetry rings).
+  EXPECT_EQ(kRunReportSchemaVersion, 6);
 }
 
 TEST(Schema, EmittedDocumentMatchesDeclaredKeys) {
